@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure with reduced
+parameters, prints the same rows/series the paper reports, asserts the
+*shape* of the result (orderings, crossovers, rough factors), and
+registers the runtime with pytest-benchmark.
+"""
+
+import pytest
+
+
+def run_and_render(benchmark, runner, *args, **kwargs):
+    """Run an experiment once under the benchmark timer and print it."""
+    result = benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,60 @@
+"""Cluster scale-out: throughput scales with worker count (§5, §7.7).
+
+The paper's cluster manager (Dirigent) load-balances composition
+invocations across worker nodes; §7.7 notes that larger inputs require
+"scaling query execution across multiple Dandelion nodes".  This bench
+drives a fixed concurrent batch of compute-heavy invocations through
+1-, 2- and 4-worker clusters and checks near-linear makespan scaling.
+"""
+
+import pytest
+
+from repro.cluster import ClusterManager
+from repro.functions import compute_function
+from repro.worker import WorkerConfig
+
+BATCH = 48
+
+
+def _make_binary():
+    @compute_function(name="heavy", compute_cost=5e-3)
+    def heavy(vfs):
+        vfs.write_bytes("/out/out/r", b"done")
+
+    return heavy
+
+
+COMPOSITION = """
+composition heavy_comp {
+    compute h uses heavy in(seed) out(out);
+    input seed -> h.seed;
+    output h.out -> result;
+}
+"""
+
+
+def run_batch(worker_count: int) -> float:
+    cluster = ClusterManager(
+        worker_count=worker_count,
+        worker_config=WorkerConfig(total_cores=5, control_plane_enabled=False),
+        policy="least_loaded",
+    )
+    cluster.register_function(_make_binary())
+    cluster.register_composition(COMPOSITION)
+    processes = [cluster.invoke("heavy_comp", {"seed": b"x"}) for _ in range(BATCH)]
+    cluster.env.run(until=cluster.env.all_of(processes))
+    assert all(process.value.ok for process in processes)
+    return cluster.env.now
+
+
+def test_cluster_scaling(benchmark):
+    makespans = benchmark.pedantic(
+        lambda: {n: run_batch(n) for n in (1, 2, 4)}, rounds=1, iterations=1
+    )
+    print("\nmakespan by cluster size: "
+          + ", ".join(f"{n}w={t * 1e3:.1f}ms" for n, t in makespans.items()))
+    # Doubling workers roughly halves makespan for a parallel batch.
+    assert makespans[2] < 0.65 * makespans[1]
+    assert makespans[4] < 0.65 * makespans[2]
+    # And 4 workers stay within 2x of perfect linear scaling.
+    assert makespans[4] > makespans[1] / 8

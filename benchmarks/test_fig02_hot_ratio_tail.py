@@ -1,0 +1,20 @@
+"""Fig 2: Firecracker tail latency vs percentage of hot requests."""
+
+from repro.experiments import run_fig02
+
+from conftest import run_and_render
+
+
+def test_fig02_tail_sensitivity(benchmark):
+    result = run_and_render(benchmark, run_fig02, duration_seconds=8.0)
+    all_hot = result.row(hot_pct="100")
+    mostly_hot = result.row(hot_pct="97")
+    # Median barely moves...
+    assert mostly_hot["p50_ms"] < 2 * all_hot["p50_ms"]
+    # ...but the tail explodes once a few percent of requests are cold
+    # (snapshot restore + demand paging on the critical path).
+    assert mostly_hot["p99_ms"] > 3 * all_hot["p99_ms"]
+    assert mostly_hot["p999_ms"] > 5 * all_hot["p999_ms"]
+    # Tail latency grows monotonically-ish as the hot share drops.
+    p999 = result.column("p999_ms")
+    assert p999[-1] >= p999[0]

@@ -1,0 +1,45 @@
+"""Fig 7: compute/communication split vs monolithic D-hybrid."""
+
+from repro.experiments import run_fig07
+
+from conftest import run_and_render
+
+
+def _peak(result, system, workload):
+    sustained = [
+        row["achieved_rps"]
+        for row in result.rows
+        if row["system"] == system and row["workload"] == workload and not row["saturated"]
+    ]
+    return max(sustained) if sustained else 0.0
+
+
+def test_fig07_split_benefit(benchmark):
+    result = run_and_render(benchmark, run_fig07, duration_seconds=0.4)
+
+    # The I/O workload: pinned D-hybrid wastes cores during I/O waits,
+    # unpinned high-tpc is needed; Dandelion matches the best static
+    # config without retuning.
+    io_peaks = {
+        s: _peak(result, s, "fetch_and_compute")
+        for s in ("dandelion", "dhybrid-tpc1-pinned", "dhybrid-tpc5")
+    }
+    assert io_peaks["dhybrid-tpc1-pinned"] < 0.6 * io_peaks["dhybrid-tpc5"]
+    assert io_peaks["dandelion"] >= 0.95 * io_peaks["dhybrid-tpc5"]
+
+    # The compute workload: pinned tpc1 is the best static config;
+    # Dandelion stays within the one-comm-core reservation of it.
+    compute_peaks = {
+        s: _peak(result, s, "matmul")
+        for s in ("dandelion", "dhybrid-tpc1-pinned", "dhybrid-tpc5")
+    }
+    assert compute_peaks["dandelion"] >= 0.80 * compute_peaks["dhybrid-tpc1-pinned"]
+
+    # No single static D-hybrid config is best at both workloads, while
+    # Dandelion is within 5% of the best on io and 80% on compute.
+    best_io = max(io_peaks, key=io_peaks.get)
+    best_compute = max(
+        (s for s in compute_peaks if s != "dandelion"), key=compute_peaks.get
+    )
+    assert best_io != "dhybrid-tpc1-pinned"
+    assert best_compute != "dhybrid-tpc5" or compute_peaks["dhybrid-tpc5"] <= compute_peaks["dhybrid-tpc1-pinned"] * 1.05

@@ -1,0 +1,33 @@
+"""§7.4: composition overhead vs number of compute-communication phases."""
+
+import pytest
+
+from repro.experiments import run_sec74
+
+from conftest import run_and_render
+
+
+def test_sec74_composition_chain(benchmark):
+    result = run_and_render(benchmark, run_sec74)
+    # Linear growth for every system: the latency at 16 phases is close
+    # to 2x the latency at 8 phases.
+    for column in (
+        "dandelion_uncached_ms", "dandelion_cached_ms", "fc_hot_ms", "wasmtime_ms",
+    ):
+        at_8 = result.row(phases=8)[column]
+        at_16 = result.row(phases=16)[column]
+        assert at_16 == pytest.approx(2 * at_8, rel=0.25), column
+
+    at_8 = result.row(phases=8)
+    at_16 = result.row(phases=16)
+    # Dandelion uncached within ~25% of Firecracker-hot at 8 phases
+    # (paper: 17%) despite creating a sandbox per phase.
+    overhead_8 = at_8["dandelion_uncached_ms"] / at_8["fc_hot_ms"] - 1
+    assert overhead_8 < 0.30
+    # Only a few ms slower at 16 phases (paper: ~4 ms).
+    assert at_16["dandelion_uncached_ms"] - at_16["fc_hot_ms"] < 8.0
+    # Binary caching buys little even for long chains (paper: 0.5 ms).
+    assert at_16["dandelion_uncached_ms"] - at_16["dandelion_cached_ms"] < 2.0
+    # Cold Firecracker pays its restore up front: higher base, same slope.
+    assert at_16["fc_cold_ms"] > at_16["fc_hot_ms"] + 20
+    assert at_16["fc_cold_ms"] > at_16["dandelion_uncached_ms"]

@@ -1,0 +1,22 @@
+"""§7.7: Text2SQL agentic workflow latency breakdown."""
+
+import pytest
+
+from repro.experiments import run_sec77
+
+from conftest import run_and_render
+
+
+def test_sec77_text2sql(benchmark):
+    result = run_and_render(benchmark, run_sec77)
+    total = result.row(step="end_to_end_measured")["seconds"]
+    # Paper: ~2 s end to end for the sample prompt.
+    assert total == pytest.approx(2.015, rel=0.08)
+    # The LLM request dominates at ~61%.
+    llm = result.row(step="llm_request")
+    assert 55 < llm["share_pct"] < 68
+    # The five steps account for (almost) the whole pipeline.
+    step_sum = sum(
+        row["seconds"] for row in result.rows if row["step"] != "end_to_end_measured"
+    )
+    assert step_sum == pytest.approx(total, rel=0.05)

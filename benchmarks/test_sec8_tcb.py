@@ -1,0 +1,22 @@
+"""§8: trusted computing base sizes and live security-property checks."""
+
+from repro.experiments import run_sec8_enforcement, run_sec8_tcb
+
+from conftest import run_and_render
+
+
+def test_sec8_tcb_table(benchmark):
+    result = run_and_render(benchmark, run_sec8_tcb)
+    lines = {row["system"]: row["lines"] for row in result.rows}
+    # Dandelion's TCB is a fraction of every baseline's.
+    assert lines["dandelion"] < lines["gvisor"]
+    assert lines["dandelion"] < lines["spin/wasmtime"]
+    assert lines["dandelion"] < lines["firecracker"]
+    assert lines["dandelion"] * 5 < lines["firecracker"]
+
+
+def test_sec8_enforcement_checks(benchmark):
+    result = run_and_render(benchmark, run_sec8_enforcement)
+    for row in result.rows:
+        assert row["blocked"] == row["attempts"], row["check"]
+    assert "all enforcement checks passed" in result.notes

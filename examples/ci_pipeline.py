@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""A CI/CD pipeline on Dandelion (one of the paper's §3 target domains).
+
+Demonstrates two more platform features at once:
+
+* functions registered from **Python source text** (the §4.2
+  interpreter path) with only safe builtins + ``hlib`` available;
+* the ``key`` distribution: test cases are grouped by suite, one
+  sandbox per suite, fanned out in parallel.
+
+Pipeline:  build (checksum the sources)  →  test (per-suite instances)
+           →  report (aggregate verdicts).
+
+Run:  python examples/ci_pipeline.py
+"""
+
+from repro import DataItem, DataSet, WorkerConfig, WorkerNode
+from repro.functions import python_function_from_source
+
+BUILD_SOURCE = """
+def main(vfs):
+    # "Compile": concatenate the sources and stamp a checksum.
+    blob = b""
+    for name in vfs.listdir("/in/sources"):
+        blob += vfs.read_bytes("/in/sources/" + name)
+    artifact = hlib.json_dumps({"size": len(blob), "crc": hlib.crc32(blob)})
+    # Emit one test job per suite, keyed so 'key' distribution groups them.
+    for name in vfs.listdir("/in/tests"):
+        suite = name.split(".")[0]
+        vfs.write_bytes("/out/jobs/" + name, vfs.read_bytes("/in/tests/" + name), key=suite)
+    vfs.write_text("/out/artifact/meta", artifact)
+"""
+
+TEST_SOURCE = """
+def main(vfs):
+    results = []
+    for name in sorted(vfs.listdir("/in/jobs")):
+        case = vfs.read_text("/in/jobs/" + name)
+        expression, _, expected = case.partition("==")
+        passed = str(eval_expr(expression.strip())) == expected.strip()
+        results.append([name, "pass" if passed else "FAIL"])
+    vfs.write_text("/out/verdicts/result", hlib.format_csv(results))
+
+def eval_expr(text):
+    # A deliberately tiny calculator: ints, + and *.
+    total = 0
+    for term in text.split("+"):
+        product = 1
+        for factor in term.split("*"):
+            product = product * int(factor.strip())
+        total = total + product
+    return total
+"""
+
+REPORT_SOURCE = """
+def main(vfs):
+    rows = []
+    for name in sorted(vfs.listdir("/in/verdicts")):
+        rows.extend(hlib.parse_csv(vfs.read_text("/in/verdicts/" + name)))
+    failed = [r for r in rows if r[1] != "pass"]
+    summary = hlib.format_table(["case", "verdict"], rows)
+    status = "SUCCESS" if not failed else str(len(failed)) + " FAILURES"
+    vfs.write_text("/out/report/summary", status + "\\n" + summary)
+"""
+
+PIPELINE = """
+composition ci {
+    compute build uses ci_build in(sources, tests) out(jobs, artifact);
+    compute test uses ci_test in(jobs) out(verdicts);
+    compute report uses ci_report in(verdicts) out(report);
+
+    input sources -> build.sources;
+    input tests -> build.tests;
+    build.jobs -> test.jobs [key];        # one sandbox per test suite
+    test.verdicts -> report.verdicts [all];
+    output report.report -> report;
+    output build.artifact -> artifact;
+}
+"""
+
+
+def main():
+    worker = WorkerNode(WorkerConfig(total_cores=8))
+    worker.frontend.register_function(
+        python_function_from_source("ci_build", BUILD_SOURCE, compute_cost=2e-3))
+    worker.frontend.register_function(
+        python_function_from_source("ci_test", TEST_SOURCE, compute_cost=8e-3))
+    worker.frontend.register_function(
+        python_function_from_source("ci_report", REPORT_SOURCE, compute_cost=1e-3))
+    worker.frontend.register_composition(PIPELINE)
+
+    sources = DataSet("sources", [
+        DataItem("math.c", b"int add(int a,int b){return a+b;}"),
+        DataItem("mul.c", b"int mul(int a,int b){return a*b;}"),
+    ])
+    tests = DataSet("tests", [
+        DataItem("arith.t1", b"1 + 2 == 3"),
+        DataItem("arith.t2", b"2 * 3 + 1 == 7"),
+        DataItem("scale.t1", b"10 * 10 == 100"),
+        DataItem("scale.t2", b"5 * 5 + 5 == 31"),   # deliberately failing
+    ])
+
+    result = worker.invoke_and_run("ci", {"sources": sources, "tests": tests})
+    print(f"pipeline latency: {result.latency * 1e3:.2f} ms (simulated)")
+    print(f"artifact: {result.output('artifact').item('meta').text()}")
+    print(f"sandboxes: {worker.compute_group.tasks_executed} "
+          f"(build + one per suite + report)\n")
+    print(result.output("report").item("summary").text())
+
+
+if __name__ == "__main__":
+    main()

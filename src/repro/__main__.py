@@ -1,0 +1,119 @@
+"""Command-line entry point: run paper experiments by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1 fig6 sec77
+    python -m repro run all
+    python -m repro run fig9 --scale-factor 0.02
+
+Each experiment prints the same rows/series the paper reports (see
+EXPERIMENTS.md for the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import (
+    run_fig01,
+    run_fig09_scaling,
+    run_fig02,
+    run_fig05,
+    run_fig06,
+    run_fig07,
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_sec74,
+    run_sec77,
+    run_sec8_enforcement,
+    run_sec8_tcb,
+    run_table1,
+)
+
+EXPERIMENTS = {
+    "table1": ("Table 1: sandbox latency breakdown (Morello + Linux)", None),
+    "fig1": ("Fig 1: Knative committed vs active memory (Azure trace)", run_fig01),
+    "fig2": ("Fig 2: Firecracker tail latency vs % hot requests", run_fig02),
+    "fig5": ("Fig 5: sandbox-creation throughput, 0% hot", run_fig05),
+    "fig6": ("Fig 6: 128x128 matmul throughput, 16 cores", run_fig06),
+    "sec74": ("§7.4: composition overhead vs chain depth", run_sec74),
+    "fig7": ("Fig 7: compute/comm split vs D-hybrid", run_fig07),
+    "fig8": ("Fig 8: multiplexing mixed apps under bursty load", run_fig08),
+    "fig9": ("Fig 9: SSB queries vs Athena", None),
+    "fig9scale": ("§7.7 scaling: large inputs, 1..N Dandelion nodes vs Athena", run_fig09_scaling),
+    "sec77": ("§7.7: Text2SQL workflow breakdown", run_sec77),
+    "fig10": ("Fig 10: Azure trace, Dandelion vs FC+Knative", run_fig10),
+    "sec8": ("§8: TCB sizes + live enforcement checks", None),
+}
+
+
+def _run_one(name: str, args) -> None:
+    started = time.time()
+    if name == "table1":
+        print(run_table1("morello").render())
+        print()
+        print(run_table1("linux").render())
+    elif name == "fig9":
+        print(run_fig09(scale_factor=args.scale_factor).render())
+    elif name == "sec8":
+        print(run_sec8_tcb().render())
+        print()
+        print(run_sec8_enforcement().render())
+    elif name in ("fig1", "fig10"):
+        from .experiments.common import ascii_chart
+
+        _description, runner = EXPERIMENTS[name]
+        result = runner()
+        print(result.render())
+        if name == "fig1":
+            series = {"committed MiB": result.column("committed_mib"),
+                      "active MiB": result.column("active_mib")}
+        else:
+            series = {"firecracker MiB": result.column("firecracker_mib"),
+                      "dandelion MiB": result.column("dandelion_mib")}
+        for label, values in series.items():
+            print()
+            print(ascii_chart(values, label=f"{label} over the trace window"))
+    else:
+        _description, runner = EXPERIMENTS[name]
+        print(runner().render())
+    print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Dandelion reproduction: run paper experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments by name")
+    run_parser.add_argument("names", nargs="+", help="experiment names, or 'all'")
+    run_parser.add_argument(
+        "--scale-factor", type=float, default=0.01,
+        help="SSB scale factor for fig9 (default 0.01)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, (description, _runner) in EXPERIMENTS.items():
+            print(f"{name:8} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        _run_one(name, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

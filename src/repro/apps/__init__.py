@@ -1,0 +1,47 @@
+"""Applications: log processing (Fig 3), image compression, Text2SQL."""
+
+from .compress import (
+    QOI_TO_PNG_SECONDS,
+    generate_test_image,
+    make_compress_binary,
+    qoi_to_png,
+    register_compression_app,
+)
+from .logproc import (
+    DEFAULT_TOKEN,
+    LOGPROC_DSL,
+    register_logproc_app,
+    setup_log_services,
+)
+from .png import PngError, png_decode, png_encode
+from .qoi import QoiError, qoi_decode, qoi_encode
+from .text2sql import (
+    PAPER_STEP_SECONDS,
+    extract_sql,
+    register_text2sql_app,
+    sample_movie_database,
+    setup_text2sql_services,
+)
+
+__all__ = [
+    "QOI_TO_PNG_SECONDS",
+    "generate_test_image",
+    "make_compress_binary",
+    "qoi_to_png",
+    "register_compression_app",
+    "DEFAULT_TOKEN",
+    "LOGPROC_DSL",
+    "register_logproc_app",
+    "setup_log_services",
+    "PngError",
+    "png_decode",
+    "png_encode",
+    "QoiError",
+    "qoi_decode",
+    "qoi_encode",
+    "PAPER_STEP_SECONDS",
+    "extract_sql",
+    "register_text2sql_app",
+    "sample_movie_database",
+    "setup_text2sql_services",
+]

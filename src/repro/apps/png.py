@@ -1,0 +1,119 @@
+"""Minimal PNG encoder/decoder (RGB/RGBA, 8-bit, filter 0).
+
+Just enough of the PNG specification for the image-compression
+application: the encoder produces standards-conformant files (signature,
+IHDR, zlib-compressed IDAT with per-scanline filter byte 0, IEND, CRCs)
+and the decoder reads back exactly what the encoder produces, which the
+tests use for roundtripping.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+__all__ = ["png_encode", "png_decode", "PngError"]
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+class PngError(ValueError):
+    """Malformed PNG data or invalid encode arguments."""
+
+
+def _chunk(kind: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack(">I", len(payload))
+        + kind
+        + payload
+        + struct.pack(">I", zlib.crc32(kind + payload) & 0xFFFFFFFF)
+    )
+
+
+def png_encode(pixels: bytes, width: int, height: int, channels: int = 4, compress_level: int = 6) -> bytes:
+    """Encode raw row-major RGB/RGBA pixels into a PNG file."""
+    if channels not in (3, 4):
+        raise PngError("channels must be 3 (RGB) or 4 (RGBA)")
+    if width <= 0 or height <= 0:
+        raise PngError("image dimensions must be positive")
+    if len(pixels) != width * height * channels:
+        raise PngError(
+            f"expected {width * height * channels} pixel bytes, got {len(pixels)}"
+        )
+    color_type = 6 if channels == 4 else 2
+    header = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    stride = width * channels
+    raw = bytearray()
+    for row in range(height):
+        raw.append(0)  # filter type 0 (None)
+        raw += pixels[row * stride : (row + 1) * stride]
+    compressed = zlib.compress(bytes(raw), compress_level)
+    return (
+        _SIGNATURE
+        + _chunk(b"IHDR", header)
+        + _chunk(b"IDAT", compressed)
+        + _chunk(b"IEND", b"")
+    )
+
+
+def png_decode(data: bytes) -> tuple[bytes, int, int, int]:
+    """Decode a PNG produced by :func:`png_encode`.
+
+    Supports 8-bit RGB/RGBA with filter type 0 on every scanline —
+    sufficient for roundtrip verification.  Returns (pixels, width,
+    height, channels).
+    """
+    if not data.startswith(_SIGNATURE):
+        raise PngError("bad signature: not a PNG file")
+    position = len(_SIGNATURE)
+    width = height = channels = None
+    idat = bytearray()
+    while position < len(data):
+        if position + 8 > len(data):
+            raise PngError("truncated chunk header")
+        (length,) = struct.unpack(">I", data[position : position + 4])
+        kind = data[position + 4 : position + 8]
+        payload = data[position + 8 : position + 8 + length]
+        if len(payload) != length:
+            raise PngError("truncated chunk payload")
+        crc_bytes = data[position + 8 + length : position + 12 + length]
+        if len(crc_bytes) != 4:
+            raise PngError("truncated chunk CRC")
+        (crc,) = struct.unpack(">I", crc_bytes)
+        if crc != (zlib.crc32(kind + payload) & 0xFFFFFFFF):
+            raise PngError(f"CRC mismatch in {kind!r} chunk")
+        position += 12 + length
+        if kind == b"IHDR":
+            width, height, depth, color_type, _c, _f, interlace = struct.unpack(
+                ">IIBBBBB", payload
+            )
+            if depth != 8:
+                raise PngError(f"unsupported bit depth {depth}")
+            if color_type == 6:
+                channels = 4
+            elif color_type == 2:
+                channels = 3
+            else:
+                raise PngError(f"unsupported color type {color_type}")
+            if interlace != 0:
+                raise PngError("interlaced PNGs are not supported")
+        elif kind == b"IDAT":
+            idat += payload
+        elif kind == b"IEND":
+            break
+    if width is None or channels is None:
+        raise PngError("missing IHDR chunk")
+    try:
+        raw = zlib.decompress(bytes(idat))
+    except zlib.error as exc:
+        raise PngError(f"corrupt IDAT stream: {exc}") from exc
+    stride = width * channels
+    if len(raw) != height * (stride + 1):
+        raise PngError("decompressed size does not match dimensions")
+    pixels = bytearray()
+    for row in range(height):
+        offset = row * (stride + 1)
+        if raw[offset] != 0:
+            raise PngError(f"unsupported filter type {raw[offset]} on row {row}")
+        pixels += raw[offset + 1 : offset + 1 + stride]
+    return bytes(pixels), width, height, channels

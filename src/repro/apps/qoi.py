@@ -1,0 +1,203 @@
+"""QOI ("Quite OK Image") codec, implemented from the specification.
+
+The Fig 8 compute-intensive application "transforms an 18kB QOI image
+to PNG".  This module implements the QOI format [99] in pure Python —
+encoder and decoder — so the image-compression compute function does
+real work on real bytes.
+
+Format summary (qoiformat.org): 14-byte header, then a byte stream of
+ops over RGBA pixels — RGB/RGBA literals, a 64-entry running index
+keyed by a pixel hash, small channel diffs, luma diffs, and run-length
+ops — terminated by seven 0x00 bytes and one 0x01.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["qoi_encode", "qoi_decode", "QoiError"]
+
+_MAGIC = b"qoif"
+_END_MARKER = b"\x00" * 7 + b"\x01"
+
+_OP_INDEX = 0x00
+_OP_DIFF = 0x40
+_OP_LUMA = 0x80
+_OP_RUN = 0xC0
+_OP_RGB = 0xFE
+_OP_RGBA = 0xFF
+_MASK_2 = 0xC0
+
+
+class QoiError(ValueError):
+    """Malformed QOI data or invalid encode arguments."""
+
+
+def _hash(r: int, g: int, b: int, a: int) -> int:
+    return (r * 3 + g * 5 + b * 7 + a * 11) % 64
+
+
+def qoi_encode(pixels: bytes, width: int, height: int, channels: int = 4) -> bytes:
+    """Encode raw pixels (row-major RGB or RGBA) into QOI bytes."""
+    if channels not in (3, 4):
+        raise QoiError("channels must be 3 or 4")
+    if width <= 0 or height <= 0:
+        raise QoiError("image dimensions must be positive")
+    expected = width * height * channels
+    if len(pixels) != expected:
+        raise QoiError(f"expected {expected} pixel bytes, got {len(pixels)}")
+
+    out = bytearray()
+    out += _MAGIC
+    out += struct.pack(">IIBB", width, height, channels, 0)
+
+    index = [(0, 0, 0, 0)] * 64
+    previous = (0, 0, 0, 255)
+    run = 0
+    position = 0
+    total_pixels = width * height
+    for _ in range(total_pixels):
+        if channels == 4:
+            pixel = (
+                pixels[position], pixels[position + 1],
+                pixels[position + 2], pixels[position + 3],
+            )
+        else:
+            pixel = (pixels[position], pixels[position + 1], pixels[position + 2], 255)
+        position += channels
+
+        if pixel == previous:
+            run += 1
+            if run == 62:
+                out.append(_OP_RUN | (run - 1))
+                run = 0
+            continue
+        if run:
+            out.append(_OP_RUN | (run - 1))
+            run = 0
+
+        r, g, b, a = pixel
+        slot = _hash(r, g, b, a)
+        if index[slot] == pixel:
+            out.append(_OP_INDEX | slot)
+        else:
+            index[slot] = pixel
+            pr, pg, pb, pa = previous
+            if a == pa:
+                dr = (r - pr + 128) % 256 - 128
+                dg = (g - pg + 128) % 256 - 128
+                db = (b - pb + 128) % 256 - 128
+                dr_dg = dr - dg
+                db_dg = db - dg
+                if -2 <= dr <= 1 and -2 <= dg <= 1 and -2 <= db <= 1:
+                    out.append(_OP_DIFF | ((dr + 2) << 4) | ((dg + 2) << 2) | (db + 2))
+                elif -32 <= dg <= 31 and -8 <= dr_dg <= 7 and -8 <= db_dg <= 7:
+                    out.append(_OP_LUMA | (dg + 32))
+                    out.append(((dr_dg + 8) << 4) | (db_dg + 8))
+                else:
+                    out.append(_OP_RGB)
+                    out += bytes((r, g, b))
+            else:
+                out.append(_OP_RGBA)
+                out += bytes((r, g, b, a))
+        previous = pixel
+
+    if run:
+        out.append(_OP_RUN | (run - 1))
+    out += _END_MARKER
+    return bytes(out)
+
+
+def qoi_decode(data: bytes) -> tuple[bytes, int, int, int]:
+    """Decode QOI bytes; returns (pixels, width, height, channels).
+
+    Pixels are returned with the header's channel count (RGB or RGBA),
+    row-major.
+    """
+    if len(data) < 14 + len(_END_MARKER):
+        raise QoiError("data too short for a QOI image")
+    if data[:4] != _MAGIC:
+        raise QoiError("bad magic: not a QOI image")
+    width, height, channels, colorspace = struct.unpack(">IIBB", data[4:14])
+    if channels not in (3, 4):
+        raise QoiError(f"invalid channel count {channels}")
+    if colorspace not in (0, 1):
+        raise QoiError(f"invalid colorspace {colorspace}")
+    if width == 0 or height == 0 or width * height > 400_000_000:
+        raise QoiError("invalid image dimensions")
+
+    total_pixels = width * height
+    out = bytearray(total_pixels * channels)
+    index = [(0, 0, 0, 0)] * 64
+    pixel = (0, 0, 0, 255)
+    position = 14
+    end = len(data) - len(_END_MARKER)
+    written = 0
+
+    def emit(count: int = 1):
+        nonlocal written
+        r, g, b, a = pixel
+        for _ in range(count):
+            offset = written * channels
+            if written >= total_pixels:
+                raise QoiError("pixel data overruns declared dimensions")
+            out[offset] = r
+            out[offset + 1] = g
+            out[offset + 2] = b
+            if channels == 4:
+                out[offset + 3] = a
+            written += 1
+
+    while written < total_pixels:
+        if position >= end:
+            raise QoiError("truncated QOI stream")
+        byte = data[position]
+        position += 1
+        if byte == _OP_RGB:
+            if position + 3 > end:
+                raise QoiError("truncated RGB op")
+            pixel = (data[position], data[position + 1], data[position + 2], pixel[3])
+            position += 3
+            index[_hash(*pixel)] = pixel
+            emit()
+        elif byte == _OP_RGBA:
+            if position + 4 > end:
+                raise QoiError("truncated RGBA op")
+            pixel = (
+                data[position], data[position + 1],
+                data[position + 2], data[position + 3],
+            )
+            position += 4
+            index[_hash(*pixel)] = pixel
+            emit()
+        else:
+            op = byte & _MASK_2
+            if op == _OP_INDEX:
+                pixel = index[byte & 0x3F]
+                emit()
+            elif op == _OP_DIFF:
+                dr = ((byte >> 4) & 0x03) - 2
+                dg = ((byte >> 2) & 0x03) - 2
+                db = (byte & 0x03) - 2
+                r, g, b, a = pixel
+                pixel = ((r + dr) % 256, (g + dg) % 256, (b + db) % 256, a)
+                index[_hash(*pixel)] = pixel
+                emit()
+            elif op == _OP_LUMA:
+                if position >= end:
+                    raise QoiError("truncated LUMA op")
+                dg = (byte & 0x3F) - 32
+                second = data[position]
+                position += 1
+                dr = dg + ((second >> 4) & 0x0F) - 8
+                db = dg + (second & 0x0F) - 8
+                r, g, b, a = pixel
+                pixel = ((r + dr) % 256, (g + dg) % 256, (b + db) % 256, a)
+                index[_hash(*pixel)] = pixel
+                emit()
+            else:  # run
+                emit((byte & 0x3F) + 1)
+
+    if data[end:] != _END_MARKER:
+        raise QoiError("missing end marker")
+    return bytes(out), width, height, channels

@@ -1,0 +1,31 @@
+"""Isolation backends (KVM / process / CHERI / rWasm) and cost models."""
+
+from .base import (
+    BACKEND_NAMES,
+    IsolationBackend,
+    SandboxExecution,
+    create_backend,
+    default_compute_seconds,
+)
+from .costs import (
+    BACKEND_SPECS,
+    BackendSpec,
+    MICROSECOND,
+    REFERENCE_BINARY_SIZE,
+    REFERENCE_PAYLOAD_SIZE,
+    StageCosts,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "IsolationBackend",
+    "SandboxExecution",
+    "create_backend",
+    "default_compute_seconds",
+    "BACKEND_SPECS",
+    "BackendSpec",
+    "MICROSECOND",
+    "REFERENCE_BINARY_SIZE",
+    "REFERENCE_PAYLOAD_SIZE",
+    "StageCosts",
+]

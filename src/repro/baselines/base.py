@@ -1,0 +1,350 @@
+"""Generic traditional-FaaS platform model (the paper's baselines).
+
+Firecracker, gVisor, Spin/Wasmtime and Hyperlight all share the same
+architecture from the evaluation's point of view (§7.1 baselines): an
+HTTP relay routes each request to a *sandbox*; hot requests reuse a
+running sandbox, cold requests pay sandbox creation on the critical
+path; all sandboxes are multiplexed over the machine's cores by the OS
+scheduler (processor sharing + context switches).  What differs per
+platform is the cost profile: cold-start latency, per-request overhead,
+compute slowdown, and per-sandbox memory footprint.
+
+Functions are modelled as sequences of *phases* — ``compute`` phases
+burn CPU (scaled by the platform's slowdown), ``io`` phases block
+without using CPU — which is how the mixed compute/I-O workloads of
+§7.5–7.6 are expressed on the baselines.
+
+Two sandbox policies cover the paper's setups:
+
+* :class:`FixedHotRatioPolicy` — each request is *hot* with fixed
+  probability (the 97%-hot setting justified by the Azure trace, §7.3);
+* :class:`KeepAlivePolicy` — sandboxes stay warm for a keep-alive
+  window after each request (the Knative-autoscaling memory behaviour
+  of Figs 1 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..sim.core import Environment
+from ..sim.cpu import ProcessorSharingCpu
+from ..sim.distributions import Rng
+from ..sim.metrics import LatencyRecorder, TimeSeries
+
+__all__ = [
+    "Phase",
+    "compute_phase",
+    "io_phase",
+    "PlatformSpec",
+    "FunctionModel",
+    "Sandbox",
+    "FixedHotRatioPolicy",
+    "KeepAlivePolicy",
+    "FaasPlatform",
+    "RequestRecord",
+]
+
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One stage of a function's execution."""
+
+    kind: str      # "compute" or "io"
+    seconds: float
+
+    def __post_init__(self):
+        if self.kind not in ("compute", "io"):
+            raise ValueError(f"unknown phase kind {self.kind!r}")
+        if self.seconds < 0:
+            raise ValueError("phase duration must be non-negative")
+
+
+def compute_phase(seconds: float) -> Phase:
+    return Phase("compute", seconds)
+
+
+def io_phase(seconds: float) -> Phase:
+    return Phase("io", seconds)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Cost profile of one baseline platform."""
+
+    name: str
+    cold_start_seconds: float
+    hot_start_seconds: float
+    compute_slowdown: float = 1.0
+    sandbox_memory_bytes: int = 128 * MiB
+    context_switch_seconds: float = 5e-6
+    # Whether cold-start work burns CPU (VM boot does; some of snapshot
+    # restore is I/O but the paper attributes FC saturation to CPU
+    # contention between serving and creation, so we charge it).
+    cold_start_uses_cpu: bool = True
+    # Extra cold-start cost per MiB of sandbox memory: snapshot restores
+    # demand-page the guest working set on first touch (§2.3 attributes
+    # >8ms to "snapshot demand paging and guest-host connection
+    # re-establishment", growing with the function's footprint).
+    cold_paging_seconds_per_mib: float = 0.0
+
+    def cold_start_total_seconds(self, memory_bytes: int) -> float:
+        return self.cold_start_seconds + self.cold_paging_seconds_per_mib * (
+            memory_bytes / MiB
+        )
+
+
+@dataclass(frozen=True)
+class FunctionModel:
+    """A function as the baseline platforms see it: phases + memory."""
+
+    name: str
+    phases: tuple[Phase, ...]
+    memory_bytes: Optional[int] = None  # overrides the spec default
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases if p.kind == "compute")
+
+    @property
+    def io_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases if p.kind == "io")
+
+
+@dataclass
+class Sandbox:
+    """One live sandbox (MicroVM / container / Wasm instance)."""
+
+    function_name: str
+    memory_bytes: int
+    created_at: float
+    busy: bool = True
+    expires_at: float = float("inf")
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Telemetry for one completed request."""
+
+    function_name: str
+    arrived_at: float
+    finished_at: float
+    cold: bool
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.arrived_at
+
+
+class FixedHotRatioPolicy:
+    """Bernoulli hot/cold decision with a standing hot pool.
+
+    Hot requests are assumed to find a pre-provisioned sandbox (the
+    platform keeps ``hot_pool_size`` of them in memory per function);
+    cold requests boot a fresh sandbox that is torn down afterwards.
+    """
+
+    def __init__(self, hot_ratio: float, rng: Rng, hot_pool_size: int = 8):
+        if not 0.0 <= hot_ratio <= 1.0:
+            raise ValueError(f"hot_ratio {hot_ratio} out of range")
+        self.hot_ratio = hot_ratio
+        self.rng = rng
+        self.hot_pool_size = hot_pool_size
+
+    def standing_sandboxes(self, function: FunctionModel) -> int:
+        return self.hot_pool_size if self.hot_ratio > 0 else 0
+
+    def is_hot(self, platform: "FaasPlatform", function: FunctionModel) -> bool:
+        return self.rng.bernoulli(self.hot_ratio)
+
+    def keep_after_use(self) -> bool:
+        return False
+
+
+class KeepAlivePolicy:
+    """Sandboxes idle for ``keep_alive_seconds`` before being reclaimed.
+
+    This is the Knative-style autoscaling behaviour: every request that
+    finds an idle sandbox is warm; idle sandboxes hold memory until the
+    keep-alive window elapses.
+    """
+
+    def __init__(self, keep_alive_seconds: float):
+        if keep_alive_seconds < 0:
+            raise ValueError("keep_alive_seconds must be non-negative")
+        self.keep_alive_seconds = keep_alive_seconds
+
+    def standing_sandboxes(self, function: FunctionModel) -> int:
+        return 0
+
+    def keep_after_use(self) -> bool:
+        return self.keep_alive_seconds > 0
+
+
+class FaasPlatform:
+    """A baseline FaaS worker node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: PlatformSpec,
+        cores: int,
+        policy,
+        rng: Optional[Rng] = None,
+    ):
+        self.env = env
+        self.spec = spec
+        self.cores = cores
+        self.policy = policy
+        self.rng = rng or Rng(0)
+        self.cpu = ProcessorSharingCpu(
+            env, cores, switch_overhead_seconds=spec.context_switch_seconds
+        )
+        self._functions: dict[str, FunctionModel] = {}
+        # Idle (warm) sandboxes per function, newest last.
+        self._idle: dict[str, list[Sandbox]] = {}
+        self._standing_memory = 0
+        self._dynamic_memory = 0
+        self._active_memory = 0
+        self.committed_series = TimeSeries("committed_bytes")
+        self.active_series = TimeSeries("active_bytes")
+        self.committed_series.record(env.now, 0)
+        self.active_series.record(env.now, 0)
+        self.latencies = LatencyRecorder(spec.name)
+        self.per_function_latencies: dict[str, LatencyRecorder] = {}
+        self.records: list[RequestRecord] = []
+        self.cold_requests = 0
+        self.hot_requests = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register_function(
+        self,
+        name: str,
+        phases: Iterable[Phase],
+        memory_bytes: Optional[int] = None,
+    ) -> FunctionModel:
+        if name in self._functions:
+            raise ValueError(f"function {name!r} already registered")
+        function = FunctionModel(name, tuple(phases), memory_bytes)
+        self._functions[name] = function
+        self._idle[name] = []
+        self.per_function_latencies[name] = LatencyRecorder(name)
+        standing = self.policy.standing_sandboxes(function)
+        if standing:
+            self._standing_memory += standing * self._memory_of(function)
+            self._record_memory()
+        return function
+
+    def _memory_of(self, function: FunctionModel) -> int:
+        return function.memory_bytes or self.spec.sandbox_memory_bytes
+
+    # -- memory accounting ---------------------------------------------------
+
+    @property
+    def committed_bytes(self) -> int:
+        return self._standing_memory + self._dynamic_memory
+
+    @property
+    def active_bytes(self) -> int:
+        return self._active_memory
+
+    def _record_memory(self) -> None:
+        self.committed_series.record(self.env.now, self.committed_bytes)
+        self.active_series.record(self.env.now, self._active_memory)
+
+    # -- request path ----------------------------------------------------------
+
+    def request(self, function_name: str):
+        """Start serving one request; returns the simulation process."""
+        function = self._functions.get(function_name)
+        if function is None:
+            raise KeyError(f"unknown function {function_name!r}")
+        return self.env.process(self._serve(function))
+
+    def _serve(self, function: FunctionModel):
+        arrived_at = self.env.now
+        sandbox, cold = self._acquire(function)
+        memory = self._memory_of(function)
+        self._active_memory += memory
+        if cold:
+            self.cold_requests += 1
+            if sandbox is None:
+                sandbox = Sandbox(function.name, memory, created_at=self.env.now)
+                self._dynamic_memory += memory
+            self._record_memory()
+            cold_seconds = self.spec.cold_start_total_seconds(memory)
+            if self.spec.cold_start_uses_cpu:
+                yield self.cpu.consume(cold_seconds)
+            else:
+                yield self.env.timeout(cold_seconds)
+        else:
+            self.hot_requests += 1
+            self._record_memory()
+            yield self.cpu.consume(self.spec.hot_start_seconds)
+
+        for phase in function.phases:
+            if phase.kind == "compute":
+                yield self.cpu.consume(phase.seconds * self.spec.compute_slowdown)
+            else:
+                yield self.env.timeout(phase.seconds)
+
+        self._active_memory -= memory
+        self._release(function, sandbox, was_cold=cold)
+        finished_at = self.env.now
+        record = RequestRecord(function.name, arrived_at, finished_at, cold)
+        self.records.append(record)
+        self.latencies.record(record.latency)
+        self.per_function_latencies[function.name].record(record.latency)
+        return record
+
+    def _acquire(self, function: FunctionModel):
+        """Returns (sandbox_or_None, cold?)."""
+        if isinstance(self.policy, FixedHotRatioPolicy):
+            hot = self.policy.is_hot(self, function)
+            return None, not hot
+        idle = self._idle[function.name]
+        while idle:
+            sandbox = idle.pop()
+            if sandbox.expires_at > self.env.now:
+                sandbox.busy = True
+                sandbox.generation += 1
+                return sandbox, False
+            # Expired but not yet reaped; reclaim now.
+            self._dynamic_memory -= sandbox.memory_bytes
+        return None, True
+
+    def _release(self, function: FunctionModel, sandbox: Optional[Sandbox], was_cold: bool):
+        if not self.policy.keep_after_use():
+            if was_cold and sandbox is not None:
+                self._dynamic_memory -= sandbox.memory_bytes
+            self._record_memory()
+            return
+        assert sandbox is not None
+        sandbox.busy = False
+        sandbox.expires_at = self.env.now + self.policy.keep_alive_seconds
+        generation = sandbox.generation
+        self._idle[function.name].append(sandbox)
+        self.env.process(self._reap(function.name, sandbox, generation))
+        self._record_memory()
+
+    def _reap(self, function_name: str, sandbox: Sandbox, generation: int):
+        yield self.env.timeout(self.policy.keep_alive_seconds)
+        idle = self._idle[function_name]
+        if sandbox in idle and sandbox.generation == generation:
+            idle.remove(sandbox)
+            self._dynamic_memory -= sandbox.memory_bytes
+            self._record_memory()
+
+    # -- reporting --------------------------------------------------------------
+
+    def cold_fraction(self) -> float:
+        total = self.cold_requests + self.hot_requests
+        return self.cold_requests / total if total else 0.0
+
+    def warm_sandbox_count(self) -> int:
+        return sum(len(idle) for idle in self._idle.values())

@@ -1,0 +1,129 @@
+"""Dandelion-hybrid (D-hybrid) — the §7.5 ablation baseline.
+
+"To measure the impact of Dandelion's programming model, while keeping
+the rest of the system the same, we implement Dandelion-hybrid.  It
+uses the same system architecture and isolation backends as Dandelion,
+but supports running a composition as a single 'hybrid' function,
+allowing opening sockets for communication."
+
+A hybrid function bundles its compute and I/O phases in one sandbox, so
+the platform can no longer schedule them separately: the operator must
+pick a static concurrency — *threads per core* (tpc), pinned or not —
+and the right choice depends on the workload mix:
+
+* ``pinned`` with tpc 1: each task owns a core for its entire lifetime,
+  perfect for pure compute (no context switches) but the core idles
+  during I/O phases;
+* unpinned with tpc k: up to ``k × cores`` tasks run concurrently over
+  a processor-shared CPU — I/O overlaps, but compute phases now contend
+  and pay context-switch overhead.
+
+Dandelion proper (the engine split + PI controller) needs no such
+static choice — that is the comparison Fig 7 draws.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..backends.base import IsolationBackend, create_backend
+from ..composition.registry import DEFAULT_BINARY_SIZE, FunctionBinary
+from ..sim.core import Environment
+from ..sim.cpu import ProcessorSharingCpu
+from ..sim.metrics import LatencyRecorder
+from ..sim.resources import Resource
+from .base import FunctionModel, Phase, RequestRecord
+
+__all__ = ["DHybridPlatform"]
+
+_CONTEXT_SWITCH_SECONDS = 5e-6
+
+
+def _creation_placeholder(vfs):
+    """Hybrid functions are opaque blobs; only their cost profile matters."""
+
+
+class DHybridPlatform:
+    """Dandelion's architecture running monolithic hybrid functions."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cores: int,
+        threads_per_core: int = 1,
+        pinned: bool = False,
+        backend: Optional[IsolationBackend] = None,
+    ):
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        if threads_per_core < 1:
+            raise ValueError("threads_per_core must be >= 1")
+        if pinned and threads_per_core != 1:
+            raise ValueError("pinning requires exactly one thread per core")
+        self.env = env
+        self.cores = cores
+        self.threads_per_core = threads_per_core
+        self.pinned = pinned
+        self.backend = backend or create_backend("kvm", "linux")
+        self._functions: dict[str, FunctionModel] = {}
+        self._binaries: dict[str, FunctionBinary] = {}
+        if pinned:
+            self._core_pool = Resource(env, capacity=cores)
+            self._cpu = None
+        else:
+            self._core_pool = Resource(env, capacity=cores * threads_per_core)
+            # More threads per core means more context switches and
+            # cache pollution while oversubscribed.
+            efficiency = 1.0 - min(0.3, 0.05 * (threads_per_core - 1))
+            self._cpu = ProcessorSharingCpu(
+                env,
+                cores,
+                switch_overhead_seconds=_CONTEXT_SWITCH_SECONDS,
+                oversubscribed_efficiency=efficiency,
+            )
+        self.latencies = LatencyRecorder(f"d-hybrid-tpc{threads_per_core}{'-pinned' if pinned else ''}")
+        self.records: list[RequestRecord] = []
+
+    def register_function(self, name: str, phases: Iterable[Phase]) -> FunctionModel:
+        if name in self._functions:
+            raise ValueError(f"function {name!r} already registered")
+        function = FunctionModel(name, tuple(phases))
+        self._functions[name] = function
+        self._binaries[name] = FunctionBinary(
+            name=name,
+            entry_point=_creation_placeholder,
+            binary_size=DEFAULT_BINARY_SIZE,
+        )
+        return function
+
+    def request(self, function_name: str):
+        function = self._functions.get(function_name)
+        if function is None:
+            raise KeyError(f"unknown function {function_name!r}")
+        return self.env.process(self._serve(function))
+
+    def _serve(self, function: FunctionModel):
+        arrived_at = self.env.now
+        creation = self.backend.creation_seconds(self._binaries[function.name])
+        admission = self._core_pool.request()
+        yield admission
+        try:
+            if self.pinned:
+                # The task owns its core outright: creation, compute and
+                # even I/O waits all elapse while holding the core.
+                yield self.env.timeout(creation)
+                for phase in function.phases:
+                    yield self.env.timeout(phase.seconds)
+            else:
+                yield self._cpu.consume(creation)
+                for phase in function.phases:
+                    if phase.kind == "compute":
+                        yield self._cpu.consume(phase.seconds)
+                    else:
+                        yield self.env.timeout(phase.seconds)
+        finally:
+            self._core_pool.release(admission)
+        record = RequestRecord(function.name, arrived_at, self.env.now, cold=True)
+        self.records.append(record)
+        self.latencies.record(record.latency)
+        return record

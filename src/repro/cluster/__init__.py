@@ -1,0 +1,6 @@
+"""Cluster-level orchestration: Dirigent-like manager over worker fleets."""
+
+from .autoscaler import KnativeConfig, KnativeFaasPlatform
+from .manager import ROUTING_POLICIES, ClusterManager
+
+__all__ = ["KnativeConfig", "KnativeFaasPlatform", "ROUTING_POLICIES", "ClusterManager"]

@@ -1,0 +1,226 @@
+"""Knative-style concurrency autoscaler over a FaaS platform (§7.8).
+
+The paper "use[s] the autoscaling policy in Knative, a popular
+open-source FaaS orchestrator, to control the number of Firecracker
+MicroVMs over time based on application load".  Knative's KPA scales
+each revision on *observed concurrency*:
+
+* desired pods = ceil(average concurrency / per-pod target);
+* a *stable* window (60 s) smooths normal operation; a short *panic*
+  window (10% of stable) takes over when load doubles, so bursts scale
+  up immediately;
+* scale-down (including to zero) only happens after the stable window
+  agrees, plus a scale-to-zero grace period.
+
+:class:`KnativeFaasPlatform` extends the generic baseline platform with
+per-function pod pools driven by this controller.  Requests that find
+no ready pod cold-start one (and the autoscaler may pre-provision pods
+ahead of demand, which plain keep-alive cannot).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines.base import FaasPlatform, FunctionModel, PlatformSpec, Sandbox
+from ..sim.core import Environment
+from ..sim.distributions import Rng
+
+__all__ = ["KnativeConfig", "KnativeFaasPlatform"]
+
+
+@dataclass(frozen=True)
+class KnativeConfig:
+    """KPA parameters (defaults follow Knative's)."""
+
+    target_concurrency: float = 1.0       # per-pod concurrent requests
+    stable_window_seconds: float = 60.0
+    panic_window_fraction: float = 0.1
+    panic_threshold: float = 2.0          # panic when demand > 2x capacity
+    evaluation_interval_seconds: float = 2.0
+    scale_to_zero_grace_seconds: float = 30.0
+    max_pods_per_function: int = 64
+
+    @property
+    def panic_window_seconds(self) -> float:
+        return self.stable_window_seconds * self.panic_window_fraction
+
+
+class _FunctionPool:
+    """Pod pool + concurrency history for one function."""
+
+    def __init__(self, function: FunctionModel, memory_bytes: int):
+        self.function = function
+        self.memory_bytes = memory_bytes
+        self.ready: list[Sandbox] = []     # idle pods
+        self.busy_count = 0
+        self.provisioned = 0               # pods that actually exist
+        self.desired = 0
+        # (time, concurrency) samples for windowed averages.
+        self.samples: list[tuple[float, int]] = []
+        self.last_scale_down_vote: Optional[float] = None
+        self.zero_since: Optional[float] = None
+
+    @property
+    def current_pods(self) -> int:
+        """Pods that exist (cold-starting requests are not capacity yet)."""
+        return self.provisioned
+
+    def concurrency(self) -> int:
+        return self.busy_count
+
+    def record(self, now: float, horizon: float) -> None:
+        self.samples.append((now, self.busy_count))
+        cutoff = now - horizon
+        while self.samples and self.samples[0][0] < cutoff:
+            self.samples.pop(0)
+
+    def windowed_average(self, now: float, window: float) -> float:
+        cutoff = now - window
+        values = [c for t, c in self.samples if t >= cutoff]
+        if not values:
+            return float(self.busy_count)
+        return sum(values) / len(values)
+
+
+class KnativeFaasPlatform(FaasPlatform):
+    """FaaS platform whose pods are managed by a Knative-style KPA."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: PlatformSpec,
+        cores: int,
+        config: KnativeConfig = KnativeConfig(),
+        rng: Optional[Rng] = None,
+    ):
+        # The parent's policy machinery is unused; pods are ours.
+        super().__init__(env, spec, cores, policy=_NullPolicy(), rng=rng)
+        self.config = config
+        self._pools: dict[str, _FunctionPool] = {}
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.panic_entries = 0
+        env.process(self._autoscaler_loop())
+
+    # -- registration ----------------------------------------------------------
+
+    def register_function(self, name, phases, memory_bytes=None) -> FunctionModel:
+        function = super().register_function(name, phases, memory_bytes)
+        self._pools[name] = _FunctionPool(function, self._memory_of(function))
+        return function
+
+    # -- pod lifecycle (overrides the generic acquire/release) ----------------------
+
+    def _acquire(self, function: FunctionModel):
+        pool = self._pools[function.name]
+        pool.zero_since = None
+        if pool.ready:
+            sandbox = pool.ready.pop()
+            sandbox.busy = True
+            pool.busy_count += 1
+        else:
+            # No ready pod: cold start one.
+            pool.busy_count += 1
+            sandbox = None
+        # Sample at arrival too, so bursts between evaluation ticks are
+        # visible to the panic window.
+        pool.samples.append((self.env.now, pool.busy_count))
+        return sandbox, sandbox is None
+
+    def _release(self, function: FunctionModel, sandbox, was_cold: bool):
+        pool = self._pools[function.name]
+        pool.busy_count -= 1
+        if was_cold:
+            # The cold start's pod finished booting (the generic request
+            # path already created the Sandbox and charged its memory);
+            # it now counts as provisioned capacity.
+            pool.provisioned += 1
+        assert sandbox is not None
+        sandbox.busy = False
+        pool.ready.append(sandbox)
+        self._record_memory()
+        # Reclamation is the autoscaler's decision, not a timer's.
+
+    # -- the KPA loop --------------------------------------------------------------
+
+    def _autoscaler_loop(self):
+        config = self.config
+        while True:
+            yield self.env.timeout(config.evaluation_interval_seconds)
+            now = self.env.now
+            for pool in self._pools.values():
+                pool.record(now, config.stable_window_seconds)
+                stable = pool.windowed_average(now, config.stable_window_seconds)
+                panic = pool.windowed_average(now, config.panic_window_seconds)
+                capacity = max(pool.current_pods, 1) * config.target_concurrency
+                in_panic = panic >= config.panic_threshold * capacity
+                if in_panic:
+                    self.panic_entries += 1
+                observed = max(stable, panic) if in_panic else stable
+                desired = min(
+                    config.max_pods_per_function,
+                    math.ceil(observed / config.target_concurrency),
+                )
+                if desired > pool.current_pods:
+                    self._scale_up(pool, desired - pool.current_pods)
+                    pool.last_scale_down_vote = None
+                elif desired < pool.current_pods:
+                    self._maybe_scale_down(pool, desired, now, in_panic)
+                else:
+                    pool.last_scale_down_vote = None
+
+    def _scale_up(self, pool: _FunctionPool, count: int) -> None:
+        """Pre-provision pods ahead of demand (the Knative behaviour
+        that plain keep-alive lacks)."""
+        for _ in range(count):
+            sandbox = Sandbox(pool.function.name, pool.memory_bytes, created_at=self.env.now)
+            sandbox.busy = False
+            pool.ready.append(sandbox)
+            self._dynamic_memory += sandbox.memory_bytes
+            pool.provisioned += 1
+            self.scale_ups += 1
+        pool.desired = pool.current_pods
+        self._record_memory()
+
+    def _maybe_scale_down(self, pool: _FunctionPool, desired: int, now: float, in_panic: bool) -> None:
+        if in_panic:
+            pool.last_scale_down_vote = None
+            return
+        if pool.last_scale_down_vote is None:
+            pool.last_scale_down_vote = now
+            return
+        hold = self.config.stable_window_seconds
+        if desired == 0:
+            hold += self.config.scale_to_zero_grace_seconds
+        if now - pool.last_scale_down_vote < hold:
+            return
+        while pool.current_pods > desired and pool.ready:
+            sandbox = pool.ready.pop(0)
+            self._dynamic_memory -= sandbox.memory_bytes
+            pool.provisioned -= 1
+            self.scale_downs += 1
+        if pool.current_pods == 0:
+            pool.zero_since = now
+        pool.last_scale_down_vote = None
+        self._record_memory()
+
+    # -- introspection --------------------------------------------------------------
+
+    def pods_of(self, function_name: str) -> int:
+        return self._pools[function_name].current_pods
+
+    def ready_pods_of(self, function_name: str) -> int:
+        return len(self._pools[function_name].ready)
+
+
+class _NullPolicy:
+    """Placeholder satisfying the parent constructor; never consulted."""
+
+    def standing_sandboxes(self, function) -> int:
+        return 0
+
+    def keep_after_use(self) -> bool:  # pragma: no cover - unused
+        return True

@@ -1,0 +1,156 @@
+"""Cluster manager — Dirigent-like multi-worker orchestration (§5).
+
+"The cluster manager orchestrates multiple worker nodes and load
+balances composition invocations across nodes.  We extended Dirigent to
+support Dandelion worker nodes, but other cluster managers could also
+be used."
+
+The :class:`ClusterManager` owns a fleet of :class:`WorkerNode`\\ s that
+share one simulation environment and one simulated network (so they see
+the same remote services), replicates function/composition
+registrations across the fleet, and routes invocations with a pluggable
+load-balancing policy:
+
+* ``round_robin`` — rotate through workers;
+* ``least_loaded`` — fewest in-flight invocations (Dirigent-style
+  just-in-time placement);
+* ``random`` — seeded uniform choice.
+
+Workers can also be added while the cluster is running (scale-out);
+previously registered functions and compositions are replayed onto the
+new node before it receives traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..composition.graph import Composition
+from ..composition.registry import FunctionBinary
+from ..net.network import LatencyModel, SimulatedNetwork
+from ..sim.core import Environment
+from ..sim.distributions import Rng
+from ..sim.metrics import LatencyRecorder
+from ..worker import WorkerConfig, WorkerNode
+
+__all__ = ["ClusterManager", "ROUTING_POLICIES"]
+
+ROUTING_POLICIES = ("round_robin", "least_loaded", "random")
+
+# Cluster-manager hop: routing decision + request forwarding.
+_ROUTING_OVERHEAD_SECONDS = 50e-6
+
+
+class ClusterManager:
+    """Routes composition invocations over a fleet of worker nodes."""
+
+    def __init__(
+        self,
+        worker_count: int = 2,
+        worker_config: Optional[WorkerConfig] = None,
+        policy: str = "least_loaded",
+        env: Optional[Environment] = None,
+        network: Optional[SimulatedNetwork] = None,
+        seed: int = 0,
+    ):
+        if worker_count < 1:
+            raise ValueError("cluster needs at least one worker")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected one of {ROUTING_POLICIES}"
+            )
+        self.env = env or Environment()
+        self.network = network or SimulatedNetwork(self.env, LatencyModel())
+        self.policy = policy
+        self._rng = Rng(seed)
+        self._round_robin = itertools.count()
+        self._config = worker_config or WorkerConfig()
+        self.workers: list[WorkerNode] = []
+        self._functions: list[FunctionBinary] = []
+        self._compositions: list = []
+        self._in_flight: dict[int, int] = {}
+        self.latencies = LatencyRecorder("cluster")
+        self.invocations_routed = 0
+        self.per_worker_invocations: dict[int, int] = {}
+        for _ in range(worker_count):
+            self.add_worker()
+
+    # -- fleet management ------------------------------------------------------
+
+    def add_worker(self) -> WorkerNode:
+        """Add (scale out) one worker; replays existing registrations."""
+        worker = WorkerNode(self._config, env=self.env, network=self.network)
+        index = len(self.workers)
+        self.workers.append(worker)
+        self._in_flight[index] = 0
+        self.per_worker_invocations[index] = 0
+        for binary in self._functions:
+            worker.frontend.register_function(binary)
+        for composition in self._compositions:
+            worker.frontend.register_composition(composition)
+        return worker
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.workers)
+
+    # -- registration (fanned out to every node) ----------------------------------
+
+    def register_function(self, binary: FunctionBinary) -> None:
+        self._functions.append(binary)
+        for worker in self.workers:
+            worker.frontend.register_function(binary)
+
+    def register_composition(self, composition_or_source) -> Composition:
+        registered: Optional[Composition] = None
+        for worker in self.workers:
+            registered = worker.frontend.register_composition(composition_or_source)
+        assert registered is not None
+        self._compositions.append(registered)
+        return registered
+
+    # -- routing ---------------------------------------------------------------
+
+    def _pick_worker(self) -> int:
+        if self.policy == "round_robin":
+            return next(self._round_robin) % len(self.workers)
+        if self.policy == "random":
+            return self._rng.randint(0, len(self.workers) - 1)
+        # least_loaded: break ties by index for determinism.
+        return min(self._in_flight, key=lambda index: (self._in_flight[index], index))
+
+    def invoke(self, composition_name: str, inputs: dict):
+        """Route one invocation; returns a process → InvocationResult."""
+        return self.env.process(self._invoke(composition_name, inputs))
+
+    def _invoke(self, composition_name: str, inputs: dict):
+        yield self.env.timeout(_ROUTING_OVERHEAD_SECONDS)
+        index = self._pick_worker()
+        self._in_flight[index] += 1
+        self.per_worker_invocations[index] += 1
+        self.invocations_routed += 1
+        started = self.env.now
+        try:
+            result = yield self.workers[index].frontend.invoke(composition_name, inputs)
+        finally:
+            self._in_flight[index] -= 1
+        if result.ok:
+            self.latencies.record(self.env.now - started)
+        return result
+
+    def invoke_and_run(self, composition_name: str, inputs: dict):
+        process = self.invoke(composition_name, inputs)
+        return self.env.run(until=process)
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "workers": len(self.workers),
+            "policy": self.policy,
+            "invocations_routed": self.invocations_routed,
+            "per_worker": dict(self.per_worker_invocations),
+            "total_committed_bytes": sum(w.memory.current_bytes for w in self.workers),
+            "peak_committed_bytes": sum(w.memory.peak_bytes for w in self.workers),
+        }

@@ -1,0 +1,39 @@
+"""Dandelion's declarative programming model: DAGs + DSL + registry."""
+
+from .dsl import DslError, parse_composition
+from .printer import composition_to_dsl
+from .graph import (
+    COMM_INPUT_SET,
+    COMM_OUTPUT_SET,
+    CommunicationNode,
+    Composition,
+    CompositionError,
+    CompositionNode,
+    ComputeNode,
+    Distribution,
+    Edge,
+    InputBinding,
+    OutputBinding,
+)
+from .registry import DEFAULT_MEMORY_LIMIT, FunctionBinary, Registry, RegistryError
+
+__all__ = [
+    "COMM_INPUT_SET",
+    "COMM_OUTPUT_SET",
+    "CommunicationNode",
+    "Composition",
+    "CompositionError",
+    "CompositionNode",
+    "ComputeNode",
+    "Distribution",
+    "Edge",
+    "InputBinding",
+    "OutputBinding",
+    "DslError",
+    "parse_composition",
+    "composition_to_dsl",
+    "DEFAULT_MEMORY_LIMIT",
+    "FunctionBinary",
+    "Registry",
+    "RegistryError",
+]

@@ -1,0 +1,73 @@
+"""Control-plane process: periodic core re-allocation between engine types."""
+
+from __future__ import annotations
+
+from ..engines.group import EngineGroup
+from ..sim.core import Environment
+from .pi_controller import PiConfig, PiController
+
+__all__ = ["CoreAllocator", "CONTROL_EPOCH_SECONDS"]
+
+CONTROL_EPOCH_SECONDS = 0.030  # the paper's 30 ms control period
+
+
+class CoreAllocator:
+    """Runs the PI loop and moves cores between the two engine groups.
+
+    Each group always keeps at least ``min_engines`` cores so neither
+    function type can be starved entirely.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        compute_group: EngineGroup,
+        comm_group: EngineGroup,
+        epoch_seconds: float = CONTROL_EPOCH_SECONDS,
+        config: PiConfig = PiConfig(),
+        min_engines: int = 1,
+        enabled: bool = True,
+    ):
+        self.env = env
+        self.compute_group = compute_group
+        self.comm_group = comm_group
+        self.epoch_seconds = epoch_seconds
+        self.controller = PiController(config)
+        self.min_engines = min_engines
+        self.enabled = enabled
+        self.reassignments: list[tuple[float, str]] = []
+        self.allocation_history: list[tuple[float, int, int]] = []
+        self._previous_compute_queue = 0
+        self._previous_comm_queue = 0
+        if enabled:
+            self.process = env.process(self._run())
+
+    @property
+    def compute_cores(self) -> int:
+        return self.compute_group.engine_count
+
+    @property
+    def comm_cores(self) -> int:
+        return self.comm_group.engine_count
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.epoch_seconds)
+            compute_queue = self.compute_group.sample_queue()
+            comm_queue = self.comm_group.sample_queue()
+            compute_growth = compute_queue - self._previous_compute_queue
+            comm_growth = comm_queue - self._previous_comm_queue
+            self._previous_compute_queue = compute_queue
+            self._previous_comm_queue = comm_queue
+            decision = self.controller.update(compute_growth, comm_growth)
+            if decision > 0 and self.comm_group.engine_count > self.min_engines:
+                yield self.comm_group.shrink()
+                self.compute_group.grow()
+                self.reassignments.append((self.env.now, "comm->compute"))
+            elif decision < 0 and self.compute_group.engine_count > self.min_engines:
+                yield self.compute_group.shrink()
+                self.comm_group.grow()
+                self.reassignments.append((self.env.now, "compute->comm"))
+            self.allocation_history.append(
+                (self.env.now, self.compute_cores, self.comm_cores)
+            )

@@ -1,0 +1,19 @@
+"""Data-plane primitives: items, sets, memory contexts, virtual FS."""
+
+from .context import PAGE_SIZE, ContextError, MemoryContext, parse_sets, serialize_sets
+from .items import DataItem, DataSet, total_size
+from .vfs import VfsError, VirtualFile, VirtualFileSystem
+
+__all__ = [
+    "PAGE_SIZE",
+    "ContextError",
+    "MemoryContext",
+    "parse_sets",
+    "serialize_sets",
+    "DataItem",
+    "DataSet",
+    "total_size",
+    "VfsError",
+    "VirtualFile",
+    "VirtualFileSystem",
+]

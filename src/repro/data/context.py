@@ -1,0 +1,226 @@
+"""Memory contexts — the dispatcher's memory-management abstraction (§5).
+
+A memory context is "a bounded, contiguous memory region with methods
+to read or write at particular offsets and methods to transfer data to
+other contexts".  The dispatcher prepares one per ready function,
+copies upstream outputs into it, and tears it down once all consumers
+have drained its outputs.
+
+The reproduction backs each context with a real ``bytearray`` and
+tracks *committed* pages separately from *reserved* capacity, mirroring
+the paper's demand-paging behaviour ("Dandelion reserves this amount of
+virtual memory for the context and uses demand paging to allocate
+zeroed pages as needed").  Committed bytes are what the Azure-trace
+memory experiments (Figs 1 and 10) account for.
+
+Sets are serialised into the region with a small length-prefixed binary
+layout; :func:`parse_sets` is the strict ~100-line "function output
+parser" the security analysis in §8 talks about.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Optional
+
+from .items import DataItem, DataSet
+
+__all__ = ["MemoryContext", "ContextError", "serialize_sets", "parse_sets", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+
+_MAGIC = b"DNDL"
+_HEADER = struct.Struct("<4sI")  # magic, set count
+_LENGTH = struct.Struct("<I")
+
+# Hard caps enforced by the parser so malicious output data cannot make
+# the trusted side allocate unbounded memory.
+_MAX_SETS = 4096
+_MAX_ITEMS_PER_SET = 1 << 20
+_MAX_NAME_LENGTH = 4096
+
+
+class ContextError(Exception):
+    """Raised for out-of-bounds access or malformed context contents."""
+
+
+class MemoryContext:
+    """A bounded, contiguous memory region owned by one function run."""
+
+    def __init__(self, capacity: int, ident: str = ""):
+        if capacity <= 0:
+            raise ContextError("context capacity must be positive")
+        self.ident = ident
+        self._capacity = int(capacity)
+        self._buffer = bytearray()  # grows on demand, never beyond capacity
+        self._freed = False
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Reserved (virtual) size in bytes."""
+        return self._capacity
+
+    @property
+    def committed(self) -> int:
+        """Bytes of physical memory committed (page granularity)."""
+        pages = (len(self._buffer) + PAGE_SIZE - 1) // PAGE_SIZE
+        return pages * PAGE_SIZE if self._buffer else 0
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def free(self) -> None:
+        """Release the backing memory; further access is an error."""
+        self._buffer = bytearray()
+        self._freed = True
+
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise ContextError(f"context {self.ident!r} already freed")
+
+    def _ensure(self, end: int) -> None:
+        if end > self._capacity:
+            raise ContextError(
+                f"access at {end} exceeds context capacity {self._capacity}"
+            )
+        if end > len(self._buffer):
+            # Demand-"page in" zeroed memory.
+            self._buffer.extend(b"\x00" * (end - len(self._buffer)))
+
+    # -- raw access -------------------------------------------------------
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Copy ``data`` into the region at ``offset``."""
+        self._check_alive()
+        if offset < 0:
+            raise ContextError("negative offset")
+        self._ensure(offset + len(data))
+        self._buffer[offset : offset + len(data)] = data
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Copy ``length`` bytes out of the region at ``offset``."""
+        self._check_alive()
+        if offset < 0 or length < 0:
+            raise ContextError("negative offset or length")
+        if offset + length > self._capacity:
+            raise ContextError("read past end of context")
+        self._ensure(offset + length)
+        return bytes(self._buffer[offset : offset + length])
+
+    def transfer_to(self, other: "MemoryContext", src_offset: int, dst_offset: int, length: int) -> None:
+        """Copy a range of this context into another context.
+
+        This is the specialised context-to-context transfer method the
+        dispatcher uses to move function outputs to consumer inputs.
+        """
+        other.write(dst_offset, self.read(src_offset, length))
+
+    # -- structured access ---------------------------------------------
+
+    def store_sets(self, sets: Iterable[DataSet], offset: int = 0) -> int:
+        """Serialise ``sets`` into the region; returns bytes written."""
+        blob = serialize_sets(sets)
+        self.write(offset, blob)
+        return len(blob)
+
+    def load_sets(self, offset: int = 0) -> list[DataSet]:
+        """Parse sets previously stored at ``offset``."""
+        self._check_alive()
+        return parse_sets(bytes(self._buffer[offset:]))
+
+    def __repr__(self) -> str:
+        state = "freed" if self._freed else f"{self.committed}B committed"
+        return f"MemoryContext({self.ident!r}, cap={self._capacity}, {state})"
+
+
+def serialize_sets(sets: Iterable[DataSet]) -> bytes:
+    """Encode sets into the length-prefixed on-context layout."""
+    sets = list(sets)
+    parts = [_HEADER.pack(_MAGIC, len(sets))]
+    for data_set in sets:
+        parts.append(_encode_name(data_set.ident))
+        parts.append(_LENGTH.pack(len(data_set)))
+        for item in data_set:
+            parts.append(_encode_name(item.ident))
+            key = item.key if item.key is not None else ""
+            parts.append(_encode_name(key))
+            parts.append(_LENGTH.pack(1 if item.key is not None else 0))
+            parts.append(_LENGTH.pack(len(item.data)))
+            parts.append(item.data)
+    return b"".join(parts)
+
+
+def _encode_name(name: str) -> bytes:
+    raw = name.encode("utf-8")
+    if len(raw) > _MAX_NAME_LENGTH:
+        raise ContextError(f"name longer than {_MAX_NAME_LENGTH} bytes")
+    return _LENGTH.pack(len(raw)) + raw
+
+
+class _Cursor:
+    """Bounds-checked reader over untrusted bytes."""
+
+    def __init__(self, blob: bytes):
+        self.blob = blob
+        self.position = 0
+
+    def take(self, length: int) -> bytes:
+        if length < 0 or self.position + length > len(self.blob):
+            raise ContextError("truncated context data")
+        chunk = self.blob[self.position : self.position + length]
+        self.position += length
+        return chunk
+
+    def u32(self) -> int:
+        return _LENGTH.unpack(self.take(4))[0]
+
+    def name(self, allow_empty: bool = True) -> str:
+        length = self.u32()
+        if length > _MAX_NAME_LENGTH:
+            raise ContextError("name too long")
+        raw = self.take(length)
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ContextError("name is not valid UTF-8") from exc
+        if not text and not allow_empty:
+            raise ContextError("empty name")
+        return text
+
+
+def parse_sets(blob: bytes) -> list[DataSet]:
+    """Strictly parse untrusted set data left behind by a function.
+
+    Every length is validated before use; malformed or truncated data
+    raises :class:`ContextError` rather than producing partial results.
+    This is the reproduction's analogue of the 100-line Rust output
+    parser whose small size §8 argues makes verification feasible.
+    """
+    cursor = _Cursor(blob)
+    magic, set_count = _HEADER.unpack(cursor.take(_HEADER.size))
+    if magic != _MAGIC:
+        raise ContextError("bad magic: context does not contain set data")
+    if set_count > _MAX_SETS:
+        raise ContextError("set count exceeds limit")
+    sets: list[DataSet] = []
+    for _ in range(set_count):
+        set_ident = cursor.name(allow_empty=False)
+        item_count = cursor.u32()
+        if item_count > _MAX_ITEMS_PER_SET:
+            raise ContextError("item count exceeds limit")
+        data_set = DataSet(set_ident)
+        for _ in range(item_count):
+            item_ident = cursor.name(allow_empty=False)
+            key_text = cursor.name()
+            has_key = cursor.u32()
+            if has_key not in (0, 1):
+                raise ContextError("invalid key flag")
+            payload_length = cursor.u32()
+            payload = cursor.take(payload_length)
+            key: Optional[str] = key_text if has_key else None
+            data_set.add(DataItem(item_ident, payload, key=key))
+        sets.append(data_set)
+    return sets

@@ -1,0 +1,118 @@
+"""Data items and data sets — the values that flow along composition edges.
+
+Dandelion functions consume a declared list of *input sets* and produce
+a declared list of *output sets* (§4.1).  A set is an ordered, named
+collection of *items*; an item is a named blob of bytes plus an
+optional grouping *key* ("Keys are set by the user when formatting
+output data and are only used for grouping").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["DataItem", "DataSet", "total_size"]
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One named blob flowing through a composition.
+
+    ``ident`` is the item name (the file name in the virtual
+    filesystem view), ``data`` the payload, and ``key`` the optional
+    grouping key used by ``key``-distributed edges.
+    """
+
+    ident: str
+    data: bytes
+    key: Optional[str] = None
+
+    def __post_init__(self):
+        if not isinstance(self.data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"item data must be bytes-like, got {type(self.data).__name__}")
+        object.__setattr__(self, "data", bytes(self.data))
+        if not self.ident:
+            raise ValueError("item ident must be non-empty")
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.data)
+
+    def text(self, encoding: str = "utf-8") -> str:
+        """Decode the payload as text (convenience for examples/tests)."""
+        return self.data.decode(encoding)
+
+
+class DataSet:
+    """A named, ordered collection of :class:`DataItem`.
+
+    Sets are the unit a composition edge transports: an edge says
+    "output set X of function A becomes input set Y of function B".
+    """
+
+    def __init__(self, ident: str, items: Iterable[DataItem] = ()):
+        if not ident:
+            raise ValueError("set ident must be non-empty")
+        self.ident = ident
+        self._items: list[DataItem] = []
+        for item in items:
+            self.add(item)
+
+    def add(self, item: DataItem) -> None:
+        """Append an item (idents inside one set must be unique)."""
+        if not isinstance(item, DataItem):
+            raise TypeError(f"expected DataItem, got {type(item).__name__}")
+        if any(existing.ident == item.ident for existing in self._items):
+            raise ValueError(f"duplicate item ident {item.ident!r} in set {self.ident!r}")
+        self._items.append(item)
+
+    def __iter__(self) -> Iterator[DataItem]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> DataItem:
+        return self._items[index]
+
+    @property
+    def items(self) -> list[DataItem]:
+        return list(self._items)
+
+    def item(self, ident: str) -> DataItem:
+        """Look an item up by name."""
+        for candidate in self._items:
+            if candidate.ident == ident:
+                return candidate
+        raise KeyError(f"no item {ident!r} in set {self.ident!r}")
+
+    @property
+    def size(self) -> int:
+        """Total payload bytes across all items."""
+        return sum(item.size for item in self._items)
+
+    def keys(self) -> list[Optional[str]]:
+        """Distinct item keys in first-appearance order."""
+        seen: list[Optional[str]] = []
+        for item in self._items:
+            if item.key not in seen:
+                seen.append(item.key)
+        return seen
+
+    def grouped_by_key(self) -> "list[DataSet]":
+        """Split into per-key sets (for ``key``-distributed edges)."""
+        groups: list[DataSet] = []
+        for key in self.keys():
+            group = DataSet(self.ident, [i for i in self._items if i.key == key])
+            groups.append(group)
+        return groups
+
+    def __repr__(self) -> str:
+        return f"DataSet({self.ident!r}, {len(self._items)} items, {self.size} bytes)"
+
+
+def total_size(sets: Iterable[DataSet]) -> int:
+    """Total payload bytes across several sets."""
+    return sum(s.size for s in sets)

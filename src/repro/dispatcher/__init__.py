@@ -1,0 +1,15 @@
+"""Dispatcher: orchestration, instance expansion, memory accounting."""
+
+from .dispatcher import Dispatcher, InvocationResult, NodeFailure
+from .expansion import InstancePlan, expand_instances, merge_instance_outputs
+from .memory import MemoryTracker
+
+__all__ = [
+    "Dispatcher",
+    "InvocationResult",
+    "NodeFailure",
+    "InstancePlan",
+    "expand_instances",
+    "merge_instance_outputs",
+    "MemoryTracker",
+]

@@ -1,0 +1,414 @@
+"""The dispatcher — orchestration of composition invocations (§5, §6.1).
+
+"The dispatcher orchestrates composition invocations using separate
+green threads.  It queues functions as their inputs become available
+and coordinates data movement."  Each invocation runs as a tree of
+simulation processes: one per node, plus one per function instance.
+The dispatcher:
+
+* tracks input/output dependencies and launches a node once every one
+  of its input sets has been delivered;
+* expands ``each``/``key`` edges into parallel instances
+  (:mod:`repro.dispatcher.expansion`);
+* prepares an isolated memory context per instance, copies inputs in,
+  and enqueues a task on the compute or communication queue;
+* on completion associates outputs with waiting consumers and frees a
+  producer's contexts "when all data-dependent functions have consumed
+  its output";
+* retries transient engine failures (pure compute functions are
+  idempotent, §6.1) and surfaces deterministic user failures to the
+  client.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..composition.graph import (
+    Composition,
+    CompositionNode,
+    Distribution,
+)
+from ..composition.registry import Registry
+from ..data.context import MemoryContext
+from ..data.items import DataSet
+from ..engines.group import EngineGroup
+from ..engines.task import COMMUNICATION, COMPUTE, Task
+from ..errors import InvocationError
+from ..sim.core import Environment
+from .expansion import expand_instances, merge_instance_outputs
+from .memory import MemoryTracker
+
+__all__ = ["Dispatcher", "InvocationResult", "NodeFailure"]
+
+# Virtual reservation for communication-function contexts (responses
+# can be large; reservation is virtual, commitment follows actual data).
+_COMM_CONTEXT_CAPACITY = 1 << 30
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """Failure marker propagated through deliveries instead of data."""
+
+    node_name: str
+    error: BaseException
+
+
+@dataclass
+class InvocationResult:
+    """Outputs (or failure) of one composition invocation."""
+
+    invocation_id: int
+    outputs: dict[str, DataSet] = field(default_factory=dict)
+    error: Optional[BaseException] = None
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.started_at
+
+    def output(self, name: str) -> DataSet:
+        if self.error is not None:
+            raise InvocationError(f"invocation failed: {self.error}") from self.error
+        return self.outputs[name]
+
+
+class Dispatcher:
+    """Orchestrates invocations over the worker's engine groups."""
+
+    def __init__(
+        self,
+        env: Environment,
+        registry: Registry,
+        compute_group: EngineGroup,
+        comm_group: EngineGroup,
+        memory: Optional[MemoryTracker] = None,
+        cache_mode: str = "warm",
+        cache_rng=None,
+        cold_load_fraction: float = 0.0,
+        max_retries: int = 2,
+        default_timeout: Optional[float] = None,
+        data_passing: str = "copy",
+    ):
+        self.env = env
+        self.registry = registry
+        self.compute_group = compute_group
+        self.comm_group = comm_group
+        self.memory = memory or MemoryTracker(env)
+        if cache_mode not in ("warm", "always", "never", "fraction"):
+            raise ValueError(f"unknown cache_mode {cache_mode!r}")
+        if data_passing not in ("copy", "remap"):
+            raise ValueError(f"unknown data_passing mode {data_passing!r}")
+        # §6.1: "To move data between contexts, Dandelion currently
+        # copies data. ... Different backends could avoid the copy by
+        # remapping memory".  "remap" models that variant: inputs are
+        # not duplicated into the consumer's context (no extra committed
+        # pages, only the fixed page-table cost at transfer time).
+        self.data_passing = data_passing
+        self.cache_mode = cache_mode
+        self.cache_rng = cache_rng
+        self.cold_load_fraction = cold_load_fraction
+        self.max_retries = max_retries
+        self.default_timeout = default_timeout
+        self._warm_binaries: set[str] = set()
+        self._invocation_ids = itertools.count()
+        self.invocations_started = 0
+        self.invocations_completed = 0
+        self.invocations_failed = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def invoke(self, composition_name: str, inputs: dict[str, DataSet]):
+        """Start an invocation; returns a process yielding InvocationResult."""
+        composition = self.registry.composition(composition_name)
+        return self.env.process(self._invoke(composition, inputs))
+
+    def _invoke(self, composition: Composition, inputs: dict[str, DataSet]):
+        invocation_id = next(self._invocation_ids)
+        self.invocations_started += 1
+        result = InvocationResult(invocation_id=invocation_id, started_at=self.env.now)
+        try:
+            outputs = yield from self._run_composition(composition, inputs, invocation_id)
+        except InvocationError as exc:
+            result.error = exc
+            result.finished_at = self.env.now
+            self.invocations_failed += 1
+            return result
+        result.outputs = outputs
+        result.finished_at = self.env.now
+        self.invocations_completed += 1
+        return result
+
+    # -- composition execution ------------------------------------------------
+
+    def _run_composition(self, composition: Composition, inputs: dict[str, DataSet], invocation_id: int):
+        """Generator running one composition; returns output-name -> DataSet."""
+        expected = {binding.external for binding in composition.inputs}
+        provided = set(inputs)
+        if provided != expected:
+            raise InvocationError(
+                f"composition {composition.name!r} expects inputs {sorted(expected)}, "
+                f"got {sorted(provided)}"
+            )
+
+        # One delivery event per (node, input set); values are
+        # (Distribution, DataSet-or-NodeFailure).
+        deliveries: dict[tuple[str, str], object] = {
+            (node.name, set_name): self.env.event()
+            for node in composition.nodes.values()
+            for set_name in node.input_sets
+        }
+        # "Consumed" events let producers free contexts once every
+        # data-dependent function has picked up its inputs.
+        consumed: dict[tuple[str, str], object] = {
+            key: self.env.event() for key in deliveries
+        }
+        output_events: dict[str, object] = {
+            binding.external: self.env.event() for binding in composition.outputs
+        }
+
+        state = _CompositionRun(
+            composition=composition,
+            deliveries=deliveries,
+            consumed=consumed,
+            output_events=output_events,
+            invocation_id=invocation_id,
+        )
+
+        for node in composition.nodes.values():
+            self.env.process(self._run_node(state, node))
+
+        # Feed the composition-level inputs.
+        for binding in composition.inputs:
+            data = inputs[binding.external]
+            deliveries[(binding.node, binding.node_set)].succeed(
+                (Distribution.ALL, DataSet(binding.node_set, data.items))
+            )
+
+        gathered = yield self.env.all_of(list(output_events.values()))
+        outputs: dict[str, DataSet] = {}
+        failure: Optional[NodeFailure] = None
+        for binding in composition.outputs:
+            value = output_events[binding.external].value
+            if isinstance(value, NodeFailure):
+                failure = value
+            else:
+                outputs[binding.external] = DataSet(binding.external, value.items)
+        if failure is not None:
+            raise InvocationError(
+                f"node {failure.node_name!r} failed: {failure.error}"
+            )
+        return outputs
+
+    def _run_node(self, state: "_CompositionRun", node):
+        """Process executing one node of a composition run."""
+        composition = state.composition
+        delivery_events = [
+            state.deliveries[(node.name, set_name)] for set_name in node.input_sets
+        ]
+        yield self.env.all_of(delivery_events)
+        delivered = [
+            (set_name, *state.deliveries[(node.name, set_name)].value)
+            for set_name in node.input_sets
+        ]
+
+        upstream_failure = next(
+            (data for _n, _d, data in delivered if isinstance(data, NodeFailure)), None
+        )
+        if upstream_failure is not None:
+            self._mark_consumed(state, node)
+            self._propagate(state, node, failure=upstream_failure)
+            return
+
+        try:
+            plans = expand_instances(node.name, delivered)
+        except InvocationError as exc:
+            self._mark_consumed(state, node)
+            self._propagate(state, node, failure=NodeFailure(node.name, exc))
+            return
+
+        instance_processes = [
+            self.env.process(self._run_instance(state, node, plan)) for plan in plans
+        ]
+        # Inputs are now copied into instance contexts; upstream
+        # producers may free theirs.
+        self._mark_consumed(state, node)
+
+        gathered = yield self.env.all_of(instance_processes)
+        per_instance = [process.value for process in instance_processes]
+        failure = next(
+            (value for value in per_instance if isinstance(value, NodeFailure)), None
+        )
+        if failure is not None:
+            self._propagate(state, node, failure=failure)
+            return
+        merged = merge_instance_outputs(list(node.output_sets), per_instance)
+        self._propagate(state, node, outputs=merged)
+
+    def _mark_consumed(self, state: "_CompositionRun", node) -> None:
+        for set_name in node.input_sets:
+            event = state.consumed[(node.name, set_name)]
+            if not event.triggered:
+                event.succeed()
+
+    def _propagate(self, state, node, outputs=None, failure=None) -> None:
+        """Deliver a node's outputs (or failure) downstream and to bindings."""
+        composition = state.composition
+        for edge in composition.outgoing_edges(node.name):
+            payload = failure if failure is not None else DataSet(
+                edge.target_set, outputs[edge.source_set].items
+            )
+            state.deliveries[(edge.target, edge.target_set)].succeed(
+                (edge.distribution, payload)
+            )
+        for binding in composition.outputs:
+            if binding.node == node.name:
+                value = failure if failure is not None else outputs[binding.node_set]
+                state.output_events[binding.external].succeed(value)
+
+    # -- instance execution ---------------------------------------------------
+
+    def _run_instance(self, state, node, plan):
+        """Process executing one instance; returns outputs or NodeFailure."""
+        if node.kind == "composition":
+            result = yield from self._run_nested(state, node, plan)
+            return result
+        if node.kind == "communication":
+            result = yield from self._run_task(
+                state, node, plan, kind=COMMUNICATION, binary=None
+            )
+            return result
+        binary = self.registry.function(node.function)
+        result = yield from self._run_task(state, node, plan, kind=COMPUTE, binary=binary)
+        return result
+
+    def _run_nested(self, state, node: CompositionNode, plan):
+        inputs = {
+            data_set.ident: data_set for data_set in plan.input_sets
+        }
+        try:
+            outputs = yield from self._run_composition(
+                node.composition, inputs, state.invocation_id
+            )
+        except InvocationError as exc:
+            return NodeFailure(node.name, exc)
+        return [DataSet(name, outputs[name].items) for name in node.output_sets]
+
+    def _run_task(self, state, node, plan, kind: str, binary):
+        """Run one engine task with context lifecycle and retries."""
+        if kind == COMPUTE:
+            capacity = binary.memory_limit
+            output_names = list(node.output_sets)
+        else:
+            capacity = _COMM_CONTEXT_CAPACITY
+            output_names = list(node.output_sets)
+        context = MemoryContext(
+            capacity, ident=f"inv{state.invocation_id}/{node.name}[{plan.index}]"
+        )
+        zero_copy = self.data_passing == "remap"
+        if not zero_copy:
+            # Copy mode: inputs are duplicated into the new context.
+            context.store_sets(plan.input_sets)
+        self.memory.observe(context)
+
+        attempts = 0
+        while True:
+            task = Task(
+                kind=kind,
+                input_sets=plan.input_sets,
+                output_set_names=output_names,
+                completion=self.env.event(),
+                context=context,
+                binary=binary,
+                cached=self._binary_cached(binary) if binary is not None else False,
+                zero_copy=zero_copy,
+                protocol=getattr(node, "protocol", "http"),
+                timeout=self.default_timeout,
+                invocation_id=state.invocation_id,
+                node_name=node.name,
+                instance_index=plan.index,
+            )
+            group = self.compute_group if kind == COMPUTE else self.comm_group
+            group.submit(task)
+            outcome = yield task.completion
+            if outcome.success:
+                break
+            if outcome.transient and attempts < self.max_retries:
+                attempts += 1
+                continue
+            self._release_context(context)
+            return NodeFailure(node.name, outcome.error)
+
+        # Outputs live in the instance's context until consumers have
+        # copied them out.
+        try:
+            context.store_sets(outcome.outputs, offset=context.committed)
+        except Exception:
+            # Outputs exceeding the reservation only affect accounting
+            # granularity, never the data itself.
+            pass
+        self.memory.observe(context)
+        self.env.process(self._free_after_consumption(state, node, context))
+        return outcome.outputs
+
+    def _free_after_consumption(self, state, node, context: MemoryContext):
+        composition = state.composition
+        waits = [
+            state.consumed[(edge.target, edge.target_set)]
+            for edge in composition.outgoing_edges(node.name)
+        ]
+        for binding in composition.outputs:
+            if binding.node == node.name:
+                waits.append(state.output_events[binding.external])
+        if waits:
+            yield self.env.all_of(waits)
+        self._release_context(context)
+
+    def _release_context(self, context: MemoryContext) -> None:
+        context.free()
+        self.memory.release(context)
+
+    # -- binary cache model -----------------------------------------------------
+
+    def _binary_cached(self, binary) -> bool:
+        """Whether this load is served from the in-RAM binary cache.
+
+        ``warm``: first invocation of a function loads from disk, later
+        ones hit the cache (optionally, ``cold_load_fraction`` of
+        requests bypass it, as in Fig 6's "3% of requests load from
+        disk").  ``always``/``never`` force one behaviour; ``fraction``
+        uses ``cold_load_fraction`` alone.
+        """
+        if self.cache_mode == "always":
+            return True
+        if self.cache_mode == "never":
+            return False
+        if self.cache_mode == "fraction":
+            if self.cache_rng is None:
+                raise ValueError("cache_mode='fraction' requires cache_rng")
+            return not self.cache_rng.bernoulli(self.cold_load_fraction)
+        # warm
+        if binary.name not in self._warm_binaries:
+            self._warm_binaries.add(binary.name)
+            return False
+        if self.cold_load_fraction > 0 and self.cache_rng is not None:
+            return not self.cache_rng.bernoulli(self.cold_load_fraction)
+        return True
+
+
+@dataclass
+class _CompositionRun:
+    """Shared state of one composition run."""
+
+    composition: Composition
+    deliveries: dict
+    consumed: dict
+    output_events: dict
+    invocation_id: int

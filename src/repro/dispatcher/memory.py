@@ -1,0 +1,58 @@
+"""Committed-memory accounting for a worker node.
+
+Dandelion "commits and consumes memory only while requests are actively
+running since a new context is created for each request" (§7.8).  The
+tracker observes every live memory context and maintains the
+committed-bytes time series that the Azure-trace experiments (Figs 1
+and 10) report.
+"""
+
+from __future__ import annotations
+
+from ..data.context import MemoryContext
+from ..sim.core import Environment
+from ..sim.metrics import TimeSeries
+
+__all__ = ["MemoryTracker"]
+
+
+class MemoryTracker:
+    """Tracks committed bytes across live memory contexts over time."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.series = TimeSeries("committed_bytes")
+        self.series.record(env.now, 0)
+        self._committed_by_context: dict[int, int] = {}
+        self.current_bytes = 0
+        self.peak_bytes = 0
+
+    def observe(self, context: MemoryContext) -> None:
+        """Record a context's current committed size (new or updated)."""
+        key = id(context)
+        previous = self._committed_by_context.get(key, 0)
+        now_committed = context.committed
+        if now_committed == previous:
+            return
+        self._committed_by_context[key] = now_committed
+        self._record(now_committed - previous)
+
+    def release(self, context: MemoryContext) -> None:
+        """A context has been freed; drop its contribution."""
+        key = id(context)
+        previous = self._committed_by_context.pop(key, 0)
+        if previous:
+            self._record(-previous)
+
+    def _record(self, delta: int) -> None:
+        self.current_bytes += delta
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+        self.series.record(self.env.now, self.current_bytes)
+
+    @property
+    def live_context_count(self) -> int:
+        return len(self._committed_by_context)
+
+    def average_committed(self, start: float = None, end: float = None) -> float:
+        """Time-weighted mean committed bytes over a window."""
+        return self.series.time_weighted_mean(start, end)

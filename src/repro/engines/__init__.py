@@ -1,0 +1,18 @@
+"""Compute and communication engines plus engine-group management."""
+
+from .comm_engine import RESPONSE_SET, CommunicationEngine
+from .compute_engine import SHUTDOWN, ComputeEngine
+from .group import EngineGroup
+from .task import COMMUNICATION, COMPUTE, Task, TaskOutcome
+
+__all__ = [
+    "RESPONSE_SET",
+    "CommunicationEngine",
+    "SHUTDOWN",
+    "ComputeEngine",
+    "EngineGroup",
+    "COMMUNICATION",
+    "COMPUTE",
+    "Task",
+    "TaskOutcome",
+]

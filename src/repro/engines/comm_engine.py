@@ -1,0 +1,217 @@
+"""Communication engines — trusted, cooperative network I/O (§5, §6.3).
+
+"Each communication engine runs a separate kernel thread pinned on a
+dedicated core, which executes its own asynchronous runtime, using
+green threads to run multiple requests in parallel."  Engines share the
+dispatcher-facing interface with compute engines (poll a task queue,
+return contexts with outputs), but:
+
+* they are trusted, so no sandbox is created;
+* input data is untrusted and is sanitized before any network syscall
+  is issued on its behalf (:func:`repro.net.http.sanitize_request`);
+* only the CPU-side work (parsing, validation, copying) occupies the
+  engine's core — network waits overlap across green threads.
+
+A failed sanitization produces an error *item* in the response set
+rather than failing the whole task, mirroring how the prototype returns
+an error to the user when validation fails.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..data.items import DataItem, DataSet
+from ..functions.sdk import parse_http_request_item
+from ..net.http import HttpRequest, SanitizationError, sanitize_request
+from ..net.network import SimulatedNetwork
+from ..sim.core import Environment
+from ..sim.resources import Store
+from .compute_engine import SHUTDOWN
+from .task import Task, TaskOutcome
+
+__all__ = ["CommunicationEngine", "RESPONSE_SET"]
+
+RESPONSE_SET = "response"
+
+# CPU cost of parsing/validating one request and assembling its
+# response, charged serially on the engine core.
+_PER_REQUEST_CPU_SECONDS = 20e-6
+_CPU_BYTES_PER_SECOND = 5e9
+
+# §6.1 fault tolerance: "Communication function failures are more
+# complicated due to side effects.  Protocol specifications can help
+# Dandelion decide which functions can be re-executed ... For example,
+# HTTP PUT requests are idempotent."  Methods in this set may be
+# retried transparently after a transient network failure.
+IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "PUT", "DELETE"})
+
+
+class CommunicationEngine:
+    """One communication engine bound to one CPU core."""
+
+    def __init__(
+        self,
+        env: Environment,
+        queue: Store,
+        network: SimulatedNetwork,
+        name: str = "comm-engine",
+        max_green_threads: int = 256,
+        failure_rng=None,
+        transient_failure_rate: float = 0.0,
+        max_retries: int = 2,
+    ):
+        self.env = env
+        self.queue = queue
+        self.network = network
+        self.name = name
+        self.max_green_threads = max_green_threads
+        self.tasks_executed = 0
+        self.busy_seconds = 0.0
+        self.active_green_threads = 0
+        self.retries_performed = 0
+        self.stopped = env.event()
+        self._failure_rng = failure_rng
+        self._transient_failure_rate = transient_failure_rate
+        self._max_retries = max_retries
+        self.process = env.process(self._run())
+
+    def _cpu_seconds(self, task: Task) -> float:
+        items = sum(len(s) for s in task.input_sets)
+        return items * _PER_REQUEST_CPU_SECONDS + task.input_bytes / _CPU_BYTES_PER_SECOND
+
+    def _run(self):
+        while True:
+            task = yield self.queue.get()
+            if task is SHUTDOWN:
+                break
+            # Serialized CPU work on this core: parse and validate.
+            cpu = self._cpu_seconds(task)
+            yield self.env.timeout(cpu)
+            self.busy_seconds += cpu
+            self.tasks_executed += 1
+            # The network exchange itself runs as a green thread so the
+            # engine can pick up further tasks while I/O is in flight.
+            self.env.process(self._handle(task, cpu))
+        self.stopped.succeed(self.name)
+
+    def _handle(self, task: Task, cpu_seconds: float):
+        self.active_green_threads += 1
+        try:
+            handler = self._PROTOCOL_HANDLERS.get(task.protocol)
+            responses = DataSet(RESPONSE_SET)
+            exchanges = []
+            requests = [
+                (data_set, item) for data_set in task.input_sets for item in data_set
+            ]
+            for _data_set, item in requests:
+                if handler is None:
+                    exchanges.append(self.env.process(self._unknown_protocol(task.protocol, item)))
+                else:
+                    exchanges.append(self.env.process(handler(self, item)))
+            for exchange in exchanges:
+                response_item = yield exchange
+                responses.add(response_item)
+            task.completion.succeed(
+                TaskOutcome(
+                    success=True,
+                    outputs=[responses],
+                    service_seconds=cpu_seconds,
+                )
+            )
+        finally:
+            self.active_green_threads -= 1
+
+    def _one_exchange(self, item: DataItem):
+        """Carry one request item through sanitization and the network.
+
+        Transient network failures (modelled by the injection knobs)
+        are retried transparently for idempotent methods; non-idempotent
+        methods surface the failure to the user, since blind re-issue
+        could duplicate side effects (§6.1).
+        """
+        try:
+            envelope = parse_http_request_item(item.data)
+            request = HttpRequest(
+                method=envelope["method"],
+                url=envelope["url"],
+                headers=envelope["headers"],
+                body=envelope["body"],
+            )
+            sanitize_request(request)
+        except (ValueError, SanitizationError) as exc:
+            return DataItem(
+                item.ident,
+                json.dumps({"status": 400, "error": str(exc)}).encode(),
+                key=item.key,
+            )
+        attempts = 0
+        while True:
+            failed = (
+                self._failure_rng is not None
+                and self._transient_failure_rate > 0
+                and self._failure_rng.bernoulli(self._transient_failure_rate)
+            )
+            if failed:
+                # The connection dropped mid-exchange: charge a round
+                # trip, then decide whether the request may be retried.
+                yield self.env.timeout(self.network.latency.round_trip_seconds)
+                retryable = request.method in IDEMPOTENT_METHODS
+                if retryable and attempts < self._max_retries:
+                    attempts += 1
+                    self.retries_performed += 1
+                    continue
+                payload = json.dumps(
+                    {
+                        "status": 503,
+                        "error": "connection reset",
+                        "retried": attempts,
+                        "idempotent": retryable,
+                    }
+                ).encode()
+                return DataItem(item.ident, payload, key=item.key)
+            response = yield from self.network.perform(request)
+            payload = json.dumps(
+                {
+                    "status": response.status,
+                    "reason": response.reason,
+                    "body_hex": response.body.hex(),
+                }
+            ).encode()
+            return DataItem(item.ident, payload, key=item.key)
+
+    def _unknown_protocol(self, protocol: str, item: DataItem):
+        """Yieldless placeholder process for unsupported protocols."""
+        if False:  # pragma: no cover - makes this a generator
+            yield None
+        return DataItem(
+            item.ident,
+            json.dumps({"status": 400, "error": f"unsupported protocol {protocol!r}"}).encode(),
+            key=item.key,
+        )
+
+    def _kv_exchange(self, item: DataItem):
+        """Carry one key-value request through sanitization and the
+        network (§4.1's TCP text-protocol communication function)."""
+        from ..net.kv import parse_kv_request_item, sanitize_kv_request
+
+        try:
+            envelope = sanitize_kv_request(parse_kv_request_item(item.data))
+        except (ValueError, SanitizationError) as exc:
+            return DataItem(
+                item.ident,
+                json.dumps({"status": 400, "error": str(exc)}).encode(),
+                key=item.key,
+            )
+        status, value, reason = yield from self.network.perform_kv(
+            envelope["host"], envelope["op"], envelope["key"], envelope["value"]
+        )
+        payload = json.dumps(
+            {"status": status, "reason": reason, "value_hex": value.hex()}
+        ).encode()
+        return DataItem(item.ident, payload, key=item.key)
+
+    _PROTOCOL_HANDLERS = {
+        "http": _one_exchange,
+        "kv": _kv_exchange,
+    }

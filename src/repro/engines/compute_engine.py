@@ -1,0 +1,103 @@
+"""Compute engines — run-to-completion execution of sandboxed functions.
+
+"Compute engines are responsible for securely executing untrusted user
+code. ... Compute functions do not block, so each compute engine only
+runs a single task at a time to completion to minimize interference and
+context switching." (§5)
+
+An engine is a simulation process pinned to one CPU core: it polls the
+compute task queue ("late binding"), charges the full sandbox breakdown
+(Table 1 stages plus modelled compute time) as busy time on its core,
+and reports a :class:`TaskOutcome`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..backends.base import IsolationBackend
+from ..errors import FunctionFailure, FunctionTimeout, MemoryLimitExceeded
+from ..sim.core import Environment
+from ..sim.resources import Store
+from .task import Task, TaskOutcome
+
+__all__ = ["ComputeEngine", "SHUTDOWN"]
+
+# Sentinel pushed onto a queue to retire exactly one engine.
+SHUTDOWN = object()
+
+
+class ComputeEngine:
+    """One compute engine bound to one CPU core."""
+
+    def __init__(
+        self,
+        env: Environment,
+        queue: Store,
+        backend: IsolationBackend,
+        name: str = "compute-engine",
+        failure_rng=None,
+        transient_failure_rate: float = 0.0,
+    ):
+        self.env = env
+        self.queue = queue
+        self.backend = backend
+        self.name = name
+        self.tasks_executed = 0
+        self.busy_seconds = 0.0
+        self.stopped = env.event()
+        self._failure_rng = failure_rng
+        self._transient_failure_rate = transient_failure_rate
+        self.process = env.process(self._run())
+
+    def _run(self):
+        while True:
+            task = yield self.queue.get()
+            if task is SHUTDOWN:
+                break
+            outcome = self._execute(task)
+            if outcome.service_seconds > 0:
+                yield self.env.timeout(outcome.service_seconds)
+            self.busy_seconds += outcome.service_seconds
+            self.tasks_executed += 1
+            task.completion.succeed(outcome)
+        self.stopped.succeed(self.name)
+
+    def _execute(self, task: Task) -> TaskOutcome:
+        # Engine-level transient fault injection (crashed sandbox, not
+        # buggy user code): the dispatcher may retry these, since pure
+        # compute functions are idempotent (§6.1 fault tolerance).
+        if (
+            self._failure_rng is not None
+            and self._transient_failure_rate > 0
+            and self._failure_rng.bernoulli(self._transient_failure_rate)
+        ):
+            creation = self.backend.creation_seconds(task.binary, task.cached)
+            return TaskOutcome(
+                success=False,
+                error=RuntimeError("sandbox crashed (injected transient fault)"),
+                service_seconds=creation,
+                transient=True,
+            )
+        try:
+            execution = self.backend.execute(
+                task.binary,
+                task.input_sets,
+                task.output_set_names,
+                cached=task.cached,
+                timeout=task.timeout,
+                remap_input=task.zero_copy,
+            )
+        except (FunctionFailure, FunctionTimeout, MemoryLimitExceeded) as exc:
+            # Deterministic failures are charged sandbox-creation time
+            # (the sandbox was built before the function misbehaved).
+            creation = self.backend.creation_seconds(task.binary, task.cached)
+            return TaskOutcome(
+                success=False, error=exc, service_seconds=creation, transient=False
+            )
+        return TaskOutcome(
+            success=True,
+            outputs=execution.outputs,
+            service_seconds=execution.total_seconds,
+            breakdown=execution.breakdown,
+        )

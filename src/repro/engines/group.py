@@ -1,0 +1,117 @@
+"""Engine groups — dynamic pools of compute or communication engines.
+
+The control plane re-assigns CPU cores between the two engine types at
+runtime (§5).  A group owns one task queue and a resizable set of
+engines; shrinking retires exactly one engine via a shutdown sentinel
+(the retiring engine finishes its current task first, so cores are
+never preempted mid-function), and growing starts a new engine
+immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim.core import Environment
+from ..sim.resources import Store
+from .compute_engine import SHUTDOWN
+
+__all__ = ["EngineGroup"]
+
+
+class EngineGroup:
+    """A resizable pool of same-type engines sharing one task queue."""
+
+    def __init__(
+        self,
+        env: Environment,
+        kind: str,
+        engine_factory: Callable[[Store, str], object],
+        initial_count: int = 1,
+    ):
+        self.env = env
+        self.kind = kind
+        self.queue = Store(env)
+        self._engine_factory = engine_factory
+        self._engines: list = []
+        self._next_engine_id = 0
+        self._pending_shutdowns = 0
+        self._retired_tasks_executed = 0
+        self._retired_busy_seconds = 0.0
+        self.queue_samples: list[tuple[float, int]] = []
+        for _ in range(initial_count):
+            self._start_engine()
+
+    # -- sizing -----------------------------------------------------------
+
+    @property
+    def engine_count(self) -> int:
+        """Engines currently assigned (running minus pending retires)."""
+        return len(self._engines) - self._pending_shutdowns
+
+    @property
+    def engines(self) -> list:
+        return list(self._engines)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    def _start_engine(self) -> None:
+        name = f"{self.kind}-engine-{self._next_engine_id}"
+        self._next_engine_id += 1
+        engine = self._engine_factory(self.queue, name)
+        self._engines.append(engine)
+
+    def grow(self) -> None:
+        """Assign one more core to this engine type."""
+        self._start_engine()
+
+    def shrink(self):
+        """Retire one engine; returns an event firing once it has exited.
+
+        The sentinel joins the FIFO queue, so the retiring engine first
+        drains any tasks ahead of it — shrinking never cancels work.
+        """
+        if self.engine_count <= 0:
+            raise ValueError(f"no {self.kind} engine left to retire")
+        self._pending_shutdowns += 1
+        self.queue.put(SHUTDOWN)
+        done = self.env.event()
+        self.env.process(self._await_retirement(done))
+        return done
+
+    def _await_retirement(self, done):
+        # Any engine may consume the sentinel; wait until one reports.
+        stops = [engine.stopped for engine in self._engines]
+        yield self.env.any_of(stops)
+        retired = [engine for engine in self._engines if engine.stopped.triggered]
+        for engine in retired:
+            if engine in self._engines:
+                self._engines.remove(engine)
+                self._pending_shutdowns -= 1
+                self._retired_tasks_executed += engine.tasks_executed
+                self._retired_busy_seconds += engine.busy_seconds
+        done.succeed()
+
+    # -- submission and telemetry -------------------------------------------
+
+    def submit(self, task) -> None:
+        task.enqueued_at = self.env.now
+        self.queue.put(task)
+
+    def sample_queue(self) -> int:
+        """Record the current queue length (control-plane telemetry)."""
+        length = len(self.queue)
+        self.queue_samples.append((self.env.now, length))
+        return length
+
+    @property
+    def tasks_executed(self) -> int:
+        live = sum(engine.tasks_executed for engine in self._engines)
+        return live + self._retired_tasks_executed
+
+    @property
+    def busy_seconds(self) -> float:
+        live = sum(engine.busy_seconds for engine in self._engines)
+        return live + self._retired_busy_seconds

@@ -1,0 +1,72 @@
+"""Tasks — the unit of work the dispatcher hands to engines (§5).
+
+"The dispatcher enqueues tasks (which consist of a prepared memory
+context and metadata) to the appropriate queue type and receives
+contexts containing the results."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..composition.registry import FunctionBinary
+from ..data.context import MemoryContext
+from ..data.items import DataSet
+from ..sim.core import Event
+
+__all__ = ["Task", "TaskOutcome", "COMPUTE", "COMMUNICATION"]
+
+COMPUTE = "compute"
+COMMUNICATION = "communication"
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class TaskOutcome:
+    """What an engine reports back for one task."""
+
+    success: bool
+    outputs: Optional[list[DataSet]] = None
+    error: Optional[BaseException] = None
+    service_seconds: float = 0.0      # engine-side time spent on the task
+    breakdown: Optional[dict[str, float]] = None
+    transient: bool = False           # retryable (engine-level) failure
+
+
+@dataclass
+class Task:
+    """One function instance ready for execution.
+
+    ``completion`` fires with a :class:`TaskOutcome` when the engine is
+    done.  ``context`` is the instance's prepared memory context (its
+    committed bytes are the platform's memory footprint for the task).
+    """
+
+    kind: str
+    input_sets: list[DataSet]
+    output_set_names: list[str]
+    completion: Event
+    context: Optional[MemoryContext] = None
+    binary: Optional[FunctionBinary] = None   # compute tasks only
+    cached: bool = False                      # binary served from RAM cache
+    zero_copy: bool = False                   # inputs remapped, not copied (§6.1)
+    protocol: str = "http"                    # communication tasks only
+    timeout: Optional[float] = None
+    invocation_id: int = 0
+    node_name: str = ""
+    instance_index: int = 0
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    enqueued_at: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in (COMPUTE, COMMUNICATION):
+            raise ValueError(f"unknown task kind {self.kind!r}")
+        if self.kind == COMPUTE and self.binary is None:
+            raise ValueError("compute tasks need a function binary")
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(s.size for s in self.input_sets)

@@ -1,0 +1,48 @@
+"""Exception hierarchy shared across the platform."""
+
+__all__ = [
+    "DandelionError",
+    "SyscallBlocked",
+    "FunctionFailure",
+    "FunctionTimeout",
+    "MemoryLimitExceeded",
+    "InvocationError",
+]
+
+
+class DandelionError(Exception):
+    """Base class for platform-level errors."""
+
+
+class SyscallBlocked(DandelionError):
+    """A pure compute function attempted a system-call-like operation.
+
+    Mirrors the prototype's behaviour: functions that attempt syscalls
+    are terminated and the user notified (§6.2, process backend) or get
+    stub error codes (§4.1).
+    """
+
+
+class FunctionFailure(DandelionError):
+    """A compute function raised; carries the original exception."""
+
+    def __init__(self, function_name: str, cause: BaseException):
+        super().__init__(f"function {function_name!r} failed: {cause!r}")
+        self.function_name = function_name
+        self.cause = cause
+
+
+class FunctionTimeout(DandelionError):
+    """A function exceeded its user-specified execution timeout.
+
+    "Tasks that run for longer than a user-specified timeout (e.g. long
+    or infinite loops) will be preempted to prevent resource hogging."
+    """
+
+
+class MemoryLimitExceeded(DandelionError):
+    """A function's data exceeded its declared memory requirement."""
+
+
+class InvocationError(DandelionError):
+    """A composition invocation could not be carried out."""

@@ -1,0 +1,112 @@
+"""Shared utilities for experiment harnesses.
+
+Every experiment module exposes a ``run_*`` function returning an
+:class:`ExperimentResult`: named rows (dicts) plus free-form metadata.
+``ExperimentResult.render()`` prints the same kind of table/series the
+paper reports, and the benchmark suite snapshots these outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["ExperimentResult", "render_table", "fmt"]
+
+
+def fmt(value, digits: int = 3) -> str:
+    """Compact human formatting for table cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: Iterable[dict]) -> str:
+    """Render rows as an aligned text table with the given columns."""
+    rows = list(rows)
+    cells = [[fmt(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + metadata of one experiment run."""
+
+    name: str
+    description: str
+    headers: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **cells) -> None:
+        self.rows.append(cells)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def row(self, **criteria) -> dict:
+        """First row matching all key=value criteria."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                return row
+        raise KeyError(f"no row matching {criteria}")
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        parts = [f"== {self.name}: {self.description} =="]
+        parts.append(render_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def ascii_chart(
+    values: "list[float]",
+    width: int = 64,
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """Render a value series as a compact ASCII area chart.
+
+    Used by the CLI to sketch the memory-over-time figures (Figs 1/10)
+    without any plotting dependency.
+    """
+    if not values:
+        raise ValueError("no values to chart")
+    # Downsample/stretch to the target width.
+    resampled = [
+        values[min(len(values) - 1, int(i * len(values) / width))]
+        for i in range(width)
+    ]
+    top = max(resampled)
+    if top <= 0:
+        top = 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * (level - 0.5) / height
+        line = "".join("█" if v >= threshold else " " for v in resampled)
+        rows.append(f"{top * level / height:>10.0f} |{line}")
+    rows.append(" " * 11 + "+" + "-" * width)
+    if label:
+        rows.append(" " * 12 + label)
+    return "\n".join(rows)

@@ -1,0 +1,136 @@
+"""Fig 5 — sandbox-creation tail latency vs throughput (0% hot).
+
+"1x1 matmul on the Morello server, with 0% hot requests": every request
+creates a fresh sandbox.  Dandelion's backends sustain thousands of RPS
+at sub-millisecond p99; Spin/Wasmtime reaches ~7000 RPS thanks to
+pooling; Firecracker with snapshots is limited to ~120 RPS by the ~12ms
+restore; fresh-boot Firecracker and gVisor are far behind.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..baselines import (
+    FIRECRACKER,
+    FIRECRACKER_SNAPSHOT,
+    GVISOR,
+    HYPERLIGHT,
+    WASMTIME,
+    FaasPlatform,
+    FixedHotRatioPolicy,
+    compute_phase,
+)
+from ..data.items import DataItem, DataSet
+from ..sim.core import Environment
+from ..sim.distributions import Rng
+from ..workloads.loadgen import run_open_loop
+from ..workloads.phase_apps import MATMUL_1x1_SECONDS
+from .common import ExperimentResult
+from .loaded_dandelion import DandelionLoadModel
+from .table1_breakdown import matmul_1x1_binary
+
+__all__ = ["run_fig05", "DEFAULT_SYSTEMS"]
+
+DEFAULT_SYSTEMS = (
+    "dandelion-cheri",
+    "dandelion-rwasm",
+    "dandelion-process",
+    "dandelion-kvm",
+    "wasmtime",
+    "hyperlight",
+    "firecracker-snapshot",
+    "firecracker",
+    "gvisor",
+)
+
+_BASELINE_SPECS = {
+    "firecracker": FIRECRACKER,
+    "firecracker-snapshot": FIRECRACKER_SNAPSHOT,
+    "gvisor": GVISOR,
+    "wasmtime": WASMTIME,
+    "hyperlight": HYPERLIGHT,   # §7.2: 9.1 ms avg unloaded cold start
+}
+
+
+def _matmul_inputs():
+    return [
+        DataSet("a", [DataItem("value", struct.pack("<q", 3))]),
+        DataSet("b", [DataItem("value", struct.pack("<q", 5))]),
+    ]
+
+
+def _make_submit(system: str, env: Environment, cores: int, seed: int):
+    if system.startswith("dandelion-"):
+        backend_name = system.split("-", 1)[1]
+        model = DandelionLoadModel(
+            env,
+            matmul_1x1_binary(),
+            _matmul_inputs(),
+            ["c"],
+            cores=cores,
+            backend_name=backend_name,
+            machine="morello",
+            cold_load_fraction=1.0,  # 0% hot: always load from disk
+            rng=Rng(seed),
+        )
+        return model.request
+    spec = _BASELINE_SPECS[system]
+    platform = FaasPlatform(
+        env, spec, cores=cores, policy=FixedHotRatioPolicy(0.0, Rng(seed))
+    )
+    platform.register_function("matmul1x1", [compute_phase(MATMUL_1x1_SECONDS)])
+    return lambda: platform.request("matmul1x1")
+
+
+def run_fig05(
+    systems=DEFAULT_SYSTEMS,
+    rates=(25, 50, 100, 200, 500, 1000, 2000, 4000, 7000, 12000, 20000),
+    duration_seconds: float = 1.0,
+    cores: int = 4,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Sweep offered RPS per system; report p99 and the peak sustained rate.
+
+    A rate is *sustained* when achieved throughput stays within 5% of
+    offered; sweeping stops for a system once it saturates.
+    """
+    result = ExperimentResult(
+        name="Fig 5",
+        description="Sandbox creation: tail latency vs throughput, 0% hot, 4-core Morello",
+        headers=["system", "offered_rps", "achieved_rps", "p50_ms", "p99_ms", "saturated"],
+    )
+    peaks: dict[str, float] = {}
+    for system in systems:
+        for rate in rates:
+            env = Environment()
+            submit = _make_submit(system, env, cores, seed)
+            load = run_open_loop(
+                env, submit, rate, duration_seconds,
+                drain_seconds=5.0,
+            )
+            latencies = load.latencies
+            result.add_row(
+                system=system,
+                offered_rps=rate,
+                achieved_rps=load.achieved_rps,
+                p50_ms=latencies.percentile(50) * 1e3 if len(latencies) else float("nan"),
+                p99_ms=latencies.percentile(99) * 1e3 if len(latencies) else float("nan"),
+                saturated=load.saturated,
+            )
+            if not load.saturated:
+                peaks[system] = max(peaks.get(system, 0.0), load.achieved_rps)
+            else:
+                break
+    for system, peak in peaks.items():
+        result.note(f"peak sustained throughput {system}: {peak:.0f} RPS")
+    result.note(
+        "paper: FC-snapshot limited to ~120 RPS; WT ~7000 RPS peak; "
+        "Dandelion backends create sandboxes in 100s of µs"
+    )
+    result.note(
+        "paper §7.2 also reports Hyperlight Wasm at 9.1 ms unloaded cold "
+        "start and cites Unikraft's 3.1 ms boot-to-main (similar to FC "
+        "with snapshots once request handling is included)"
+    )
+    return result

@@ -1,0 +1,101 @@
+"""Fig 7 — throughput benefits of the compute/communication split.
+
+Dandelion (engine split + PI-controlled core allocation) vs D-hybrid
+(same architecture, but compositions run as single hybrid functions
+with a static threads-per-core setting) on two workload types:
+
+* compute-intensive: the 128×128 matmul;
+* I/O-intensive: fetch-and-compute (two phases).
+
+Paper finding: D-hybrid needs fundamentally different static settings
+per workload (tpc 1 pinned for matmul, ~5 tpc unpinned for
+fetch-and-compute) while Dandelion's control plane reaches the highest
+throughput on both — plus lower tail latency for the I/O app thanks to
+run-to-completion compute and cooperative networking.
+"""
+
+from __future__ import annotations
+
+from ..baselines.dhybrid import DHybridPlatform
+from ..sim.core import Environment
+from ..worker import WorkerConfig, WorkerNode
+from ..workloads.loadgen import run_open_loop
+from ..workloads.phase_apps import (
+    fetch_and_compute_phases,
+    matmul_phases,
+    register_phase_composition,
+)
+from .common import ExperimentResult
+
+__all__ = ["run_fig07"]
+
+DEFAULT_CONFIGS = (
+    ("dandelion", None, None),
+    ("dhybrid", 1, True),    # 1 tpc, pinned
+    ("dhybrid", 3, False),
+    ("dhybrid", 5, False),
+)
+
+WORKLOADS = {
+    "matmul": matmul_phases,
+    "fetch_and_compute": lambda: fetch_and_compute_phases(2),
+}
+
+
+def _make_submit(system, tpc, pinned, workload, cores, env_holder):
+    phases = WORKLOADS[workload]()
+    if system == "dandelion":
+        worker = WorkerNode(
+            WorkerConfig(total_cores=cores, control_plane_enabled=True, machine="linux")
+        )
+        name = register_phase_composition(worker, workload, phases)
+        env_holder.append(worker.env)
+        return worker.env, lambda: worker.frontend.invoke(name, {"data": b"x"})
+    env = Environment()
+    platform = DHybridPlatform(env, cores=cores, threads_per_core=tpc, pinned=pinned)
+    platform.register_function(workload, phases)
+    return env, lambda: platform.request(workload)
+
+
+def run_fig07(
+    configs=DEFAULT_CONFIGS,
+    rates=(200, 500, 1000, 1500, 2000, 2200, 2400, 3000, 4500, 6000),
+    duration_seconds: float = 0.5,
+    cores: int = 8,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Fig 7",
+        description="Dandelion vs D-hybrid (static tpc): peak throughput and p99 per workload",
+        headers=["system", "workload", "offered_rps", "achieved_rps", "p99_ms", "saturated"],
+    )
+    peaks: dict[tuple, float] = {}
+    for workload in WORKLOADS:
+        for system, tpc, pinned in configs:
+            label = system if system == "dandelion" else (
+                f"dhybrid-tpc{tpc}{'-pinned' if pinned else ''}"
+            )
+            for rate in rates:
+                env, submit = _make_submit(system, tpc, pinned, workload, cores, [])
+                load = run_open_loop(env, submit, rate, duration_seconds, drain_seconds=5.0)
+                latencies = load.latencies
+                result.add_row(
+                    system=label,
+                    workload=workload,
+                    offered_rps=rate,
+                    achieved_rps=load.achieved_rps,
+                    p99_ms=latencies.percentile(99) * 1e3 if len(latencies) else float("nan"),
+                    saturated=load.saturated,
+                )
+                if load.saturated:
+                    break
+                peaks[(label, workload)] = max(
+                    peaks.get((label, workload), 0.0), load.achieved_rps
+                )
+    for (label, workload), peak in sorted(peaks.items()):
+        result.note(f"peak {label} on {workload}: {peak:.0f} RPS")
+    result.note(
+        "paper: best static D-hybrid config differs per workload "
+        "(tpc1-pinned for matmul, tpc5-unpinned for fetch-and-compute); "
+        "Dandelion's controller matches or beats both without retuning"
+    )
+    return result

@@ -1,0 +1,70 @@
+"""Table 1 — Dandelion latency breakdown per isolation backend.
+
+Reproduces the per-stage (marshal / load from disk / transfer input /
+execute / get-send output / other) unloaded latency of a 1×1 int64
+matmul on each backend, in microseconds, plus the §7.2 totals on a
+default Linux kernel.  The numbers are produced by actually running the
+matmul through each backend's execute path, not by echoing constants:
+the functional harness runs the multiply, the cost model times it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..backends import BACKEND_NAMES, create_backend
+from ..data.items import DataItem, DataSet
+from ..functions.sdk import compute_function
+from ..workloads.phase_apps import MATMUL_1x1_SECONDS
+from .common import ExperimentResult
+
+__all__ = ["run_table1", "matmul_1x1_binary"]
+
+STAGES = ["marshal", "load", "transfer_input", "execute", "output", "other"]
+
+
+def matmul_1x1_binary():
+    """A real 1x1 int64 matmul over the context's input items."""
+
+    @compute_function(name="matmul1x1", compute_cost=MATMUL_1x1_SECONDS, binary_size=64 * 1024)
+    def matmul(vfs):
+        a = struct.unpack("<q", vfs.read_bytes("/in/a/value"))[0]
+        b = struct.unpack("<q", vfs.read_bytes("/in/b/value"))[0]
+        vfs.write_bytes("/out/c/value", struct.pack("<q", a * b))
+
+    return matmul
+
+
+def run_table1(machine: str = "morello") -> ExperimentResult:
+    """Run the 1x1 matmul on every backend; report per-stage µs."""
+    result = ExperimentResult(
+        name=f"Table 1 ({machine})",
+        description="Dandelion avg latency breakdown in µs per isolation backend (1x1 matmul)",
+        headers=["stage"] + list(BACKEND_NAMES),
+    )
+    binary = matmul_1x1_binary()
+    inputs = [
+        DataSet("a", [DataItem("value", struct.pack("<q", 6))]),
+        DataSet("b", [DataItem("value", struct.pack("<q", 7))]),
+    ]
+    breakdowns = {}
+    for backend_name in BACKEND_NAMES:
+        backend = create_backend(backend_name, machine)
+        execution = backend.execute(binary, inputs, ["c"], cached=False)
+        product = struct.unpack("<q", execution.outputs[0].item("value").data)[0]
+        if product != 42:
+            raise AssertionError("matmul produced a wrong result")
+        breakdowns[backend_name] = execution.breakdown
+    for stage in STAGES:
+        result.add_row(
+            stage=stage,
+            **{name: breakdowns[name][stage] * 1e6 for name in BACKEND_NAMES},
+        )
+    result.add_row(
+        stage="total",
+        **{name: sum(breakdowns[name].values()) * 1e6 for name in BACKEND_NAMES},
+    )
+    result.note("paper totals on Morello: cheri 89, rwasm 241, process 486, kvm 889 µs")
+    if machine == "linux":
+        result.note("paper totals on Linux 5.15: rwasm 109, process 539, kvm 218 µs")
+    return result

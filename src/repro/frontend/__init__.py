@@ -1,0 +1,5 @@
+"""HTTP frontend of a worker node."""
+
+from .http_frontend import Frontend
+
+__all__ = ["Frontend"]

@@ -1,0 +1,153 @@
+"""HTTP frontend — client-facing entry point of a worker node (§5).
+
+"The frontend manages client communication, handling requests for
+composition/function registration and invocation.  It forwards these
+requests to the dispatcher and serializes and returns the final result
+to the client."
+
+The frontend exposes both a programmatic API (used by examples and
+experiments) and an HTTP-message API (POST ``/v1/functions``,
+``/v1/compositions``, ``/v1/invoke/<name>``) so a worker can itself be
+registered as an :class:`~repro.net.network.HttpService` — which is how
+compositions "spawn new compositions dynamically through Dandelion's
+HTTP interface" (§4.1).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..composition.dsl import parse_composition
+from ..composition.graph import Composition
+from ..composition.registry import FunctionBinary, Registry
+from ..data.items import DataItem, DataSet
+from ..dispatcher.dispatcher import Dispatcher, InvocationResult
+from ..net.http import HttpRequest, HttpResponse
+from ..net.network import HttpService
+from ..sim.core import Environment
+
+__all__ = ["Frontend"]
+
+# Modelled CPU cost of HTTP parsing/serialization at the frontend.
+_FRONTEND_OVERHEAD_SECONDS = 30e-6
+
+
+class Frontend(HttpService):
+    """Client entry point: registration and invocation."""
+
+    def __init__(self, env: Environment, registry: Registry, dispatcher: Dispatcher, host: str = "dandelion.internal"):
+        super().__init__(host)
+        self.env = env
+        self.registry = registry
+        self.dispatcher = dispatcher
+
+    # -- programmatic API ---------------------------------------------------
+
+    def register_function(self, binary: FunctionBinary) -> None:
+        self.registry.register_function(binary)
+
+    def register_composition(self, composition_or_source) -> Composition:
+        """Register a Composition object or composition-language source."""
+        if isinstance(composition_or_source, Composition):
+            composition = composition_or_source
+        else:
+            composition = parse_composition(
+                composition_or_source, library=self.registry.compositions
+            )
+        self.registry.register_composition(composition)
+        return composition
+
+    def invoke(self, composition_name: str, inputs: dict):
+        """Invoke a composition; returns a process → InvocationResult.
+
+        ``inputs`` maps external input names to DataSets, lists of
+        DataItems, or raw bytes (wrapped as a single-item set).
+        """
+        normalized = {
+            name: self._as_data_set(name, value) for name, value in inputs.items()
+        }
+        return self.env.process(self._invoke(composition_name, normalized))
+
+    def _invoke(self, composition_name: str, inputs: dict[str, DataSet]):
+        yield self.env.timeout(_FRONTEND_OVERHEAD_SECONDS)
+        result = yield self.dispatcher.invoke(composition_name, inputs)
+        yield self.env.timeout(_FRONTEND_OVERHEAD_SECONDS)
+        return result
+
+    @staticmethod
+    def _as_data_set(name: str, value) -> DataSet:
+        if isinstance(value, DataSet):
+            return value
+        if isinstance(value, (bytes, bytearray)):
+            return DataSet(name, [DataItem(name, bytes(value))])
+        if isinstance(value, str):
+            return DataSet(name, [DataItem(name, value.encode("utf-8"))])
+        return DataSet(name, list(value))
+
+    # -- HTTP-message API -------------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve registration/invocation over HTTP (synchronous paths).
+
+        Invocation over HTTP is served through
+        :meth:`handle_invoke_process` because it must wait on the
+        dispatcher; plain ``handle`` only accepts registrations and
+        returns 202 for invocations (poll-style), keeping the
+        HttpService contract synchronous.
+        """
+        if request.method == "POST" and request.path.startswith("/v1/compositions"):
+            try:
+                composition = self.register_composition(request.body.decode("utf-8"))
+            except Exception as exc:  # noqa: BLE001 - surface as HTTP error
+                return HttpResponse(status=400, reason=str(exc))
+            return HttpResponse(status=201, body=composition.name.encode())
+        if request.method == "POST" and request.path.startswith("/v1/invoke/"):
+            name = request.path.split("/v1/invoke/", 1)[1].split("?")[0]
+            if not self.registry.has_composition(name):
+                return HttpResponse(status=404, reason=f"unknown composition {name!r}")
+            return HttpResponse(status=202, body=b"accepted")
+        return HttpResponse(status=404, reason="unknown endpoint")
+
+    def handle_process(self, request: HttpRequest):
+        """Generator handler driving full invocations in virtual time.
+
+        Registering the frontend on a :class:`SimulatedNetwork` makes
+        the worker itself reachable over HTTP, so compositions can
+        spawn other compositions dynamically (§4.1): a communication
+        function POSTs to ``/v1/invoke/<name>`` and receives the nested
+        invocation's outputs.
+        """
+        if request.method == "POST" and "/v1/invoke/" in request.path:
+            response = yield from self.handle_invoke_process(request)
+            return response
+        yield self.env.timeout(_FRONTEND_OVERHEAD_SECONDS)
+        return self.handle(request)
+
+    def handle_invoke_process(self, request: HttpRequest):
+        """Simulation process serving a full HTTP invocation round trip."""
+        name = request.path.split("/v1/invoke/", 1)[1].split("?")[0]
+        if not self.registry.has_composition(name):
+            return HttpResponse(status=404, reason=f"unknown composition {name!r}")
+        try:
+            payload = json.loads(request.body.decode("utf-8")) if request.body else {}
+        except ValueError:
+            return HttpResponse(status=400, reason="invalid JSON body")
+        inputs = {
+            key: DataSet(key, [DataItem(key, value.encode("utf-8"))])
+            for key, value in payload.items()
+        }
+        result = yield self.invoke(name, inputs)
+        return self.serialize_result(result)
+
+    @staticmethod
+    def serialize_result(result: InvocationResult) -> HttpResponse:
+        if not result.ok:
+            return HttpResponse(status=500, reason=str(result.error))
+        body = json.dumps(
+            {
+                name: {item.ident: item.data.hex() for item in data_set}
+                for name, data_set in result.outputs.items()
+            }
+        ).encode()
+        return HttpResponse(status=200, body=body)

@@ -1,0 +1,31 @@
+"""Compute-function harness, purity guard, and developer SDK."""
+
+from .compute import ComputeResult, run_compute_function
+from .interpreter import SAFE_BUILTINS, SourceError, python_function_from_source
+from .purity import PURITY_BLOCKED_OPERATIONS, purity_guard
+from .sdk import (
+    compute_function,
+    parse_http_response_item,
+    format_http_request,
+    parse_http_request_item,
+    read_all_bytes,
+    read_items,
+    write_item,
+)
+
+__all__ = [
+    "ComputeResult",
+    "run_compute_function",
+    "SAFE_BUILTINS",
+    "SourceError",
+    "python_function_from_source",
+    "PURITY_BLOCKED_OPERATIONS",
+    "purity_guard",
+    "compute_function",
+    "parse_http_response_item",
+    "format_http_request",
+    "parse_http_request_item",
+    "read_all_bytes",
+    "read_items",
+    "write_item",
+]

@@ -1,0 +1,69 @@
+"""Compute-function execution harness.
+
+Bridges a registered :class:`~repro.composition.registry.FunctionBinary`
+and the data plane: builds the hlibc-style virtual filesystem over the
+invocation's input sets, runs the user callable under the purity guard,
+collects output sets, and enforces the declared memory limit.
+
+The harness is *functionally* what a compute engine does inside a
+sandbox; the timing of the run is modelled separately by the isolation
+backends (:mod:`repro.backends`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..composition.registry import FunctionBinary
+from ..data.items import DataSet, total_size
+from ..data.vfs import VirtualFileSystem
+from ..errors import FunctionFailure, MemoryLimitExceeded, SyscallBlocked
+from .purity import purity_guard
+
+__all__ = ["run_compute_function", "ComputeResult"]
+
+
+@dataclass(frozen=True)
+class ComputeResult:
+    """Outcome of one compute-function invocation."""
+
+    outputs: list[DataSet]
+    input_bytes: int
+    output_bytes: int
+
+
+def run_compute_function(
+    binary: FunctionBinary,
+    input_sets: list[DataSet],
+    output_set_names: list[str],
+) -> ComputeResult:
+    """Execute ``binary`` over ``input_sets``, producing declared outputs.
+
+    Raises :class:`FunctionFailure` if the user code raises (including
+    attempts at blocked syscalls), :class:`MemoryLimitExceeded` if input
+    plus output data do not fit the declared context size.
+    """
+    input_bytes = total_size(input_sets)
+    if input_bytes > binary.memory_limit:
+        raise MemoryLimitExceeded(
+            f"{binary.name}: inputs of {input_bytes} bytes exceed the "
+            f"declared memory limit of {binary.memory_limit}"
+        )
+    vfs = VirtualFileSystem(input_sets, output_set_names)
+    try:
+        with purity_guard():
+            binary.entry_point(vfs)
+    except SyscallBlocked as exc:
+        # Matches the prototype: the function is terminated and the
+        # user notified, rather than the syscall silently succeeding.
+        raise FunctionFailure(binary.name, exc) from exc
+    except Exception as exc:  # noqa: BLE001 - user code may raise anything
+        raise FunctionFailure(binary.name, exc) from exc
+    outputs = vfs.collect_outputs()
+    output_bytes = total_size(outputs)
+    if input_bytes + output_bytes > binary.memory_limit:
+        raise MemoryLimitExceeded(
+            f"{binary.name}: outputs of {output_bytes} bytes overflow the "
+            f"declared memory limit of {binary.memory_limit}"
+        )
+    return ComputeResult(outputs=outputs, input_bytes=input_bytes, output_bytes=output_bytes)

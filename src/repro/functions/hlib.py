@@ -1,0 +1,221 @@
+"""hlib — the utility library available inside compute functions (§4.1).
+
+hlibc/hlibc++ give the prototype's compute functions "familiar
+interfaces for memory allocation, local filesystem operations, and
+basic utilities like math functions, formatting, etc" without any
+syscalls.  The reproduction's equivalent is this module: a namespace of
+pure, allocation-only utilities that is injected into source-registered
+functions (:mod:`repro.functions.interpreter`) as ``hlib`` and can be
+imported normally by decorator-registered functions.
+
+Everything here is syscall-free by construction: no file, socket,
+process, clock or environment access — just computation over arguments.
+"""
+
+from __future__ import annotations
+
+import base64 as _base64
+import json as _json
+import math as _math
+import re as _re
+import struct as _struct
+import zlib as _zlib
+
+__all__ = [
+    "json_dumps",
+    "json_loads",
+    "b64encode",
+    "b64decode",
+    "crc32",
+    "adler32",
+    "deflate",
+    "inflate",
+    "pack",
+    "unpack",
+    "parse_csv",
+    "format_csv",
+    "parse_query_string",
+    "format_table",
+    "sqrt", "floor", "ceil", "log", "log2", "exp", "sin", "cos", "pi",
+    "mean", "median", "variance",
+    "HLIB_NAMESPACE",
+]
+
+# -- encoding -----------------------------------------------------------------
+
+
+def json_dumps(value, indent=None) -> str:
+    """Serialize to JSON text (sorted keys for determinism)."""
+    return _json.dumps(value, indent=indent, sort_keys=True)
+
+
+def json_loads(text):
+    """Parse JSON text (str or bytes)."""
+    if isinstance(text, (bytes, bytearray)):
+        text = text.decode("utf-8")
+    return _json.loads(text)
+
+
+def b64encode(data: bytes) -> str:
+    return _base64.b64encode(bytes(data)).decode("ascii")
+
+
+def b64decode(text: str) -> bytes:
+    return _base64.b64decode(text)
+
+
+def crc32(data: bytes) -> int:
+    return _zlib.crc32(bytes(data)) & 0xFFFFFFFF
+
+
+def adler32(data: bytes) -> int:
+    return _zlib.adler32(bytes(data)) & 0xFFFFFFFF
+
+
+def deflate(data: bytes, level: int = 6) -> bytes:
+    """zlib-compress a payload (pure computation)."""
+    return _zlib.compress(bytes(data), level)
+
+
+def inflate(data: bytes) -> bytes:
+    return _zlib.decompress(bytes(data))
+
+
+def pack(fmt: str, *values) -> bytes:
+    """struct.pack with the standard format mini-language."""
+    return _struct.pack(fmt, *values)
+
+
+def unpack(fmt: str, data: bytes) -> tuple:
+    return _struct.unpack(fmt, data)
+
+
+# -- text / tabular ---------------------------------------------------------------
+
+
+def parse_csv(text: str, delimiter: str = ",") -> list[list[str]]:
+    """Minimal CSV parsing: quoted fields, embedded delimiters."""
+    rows: list[list[str]] = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        fields: list[str] = []
+        current: list[str] = []
+        quoted = False
+        index = 0
+        while index < len(line):
+            char = line[index]
+            if quoted:
+                if char == '"' and index + 1 < len(line) and line[index + 1] == '"':
+                    current.append('"')
+                    index += 1
+                elif char == '"':
+                    quoted = False
+                else:
+                    current.append(char)
+            elif char == '"':
+                quoted = True
+            elif char == delimiter:
+                fields.append("".join(current))
+                current = []
+            else:
+                current.append(char)
+            index += 1
+        fields.append("".join(current))
+        rows.append(fields)
+    return rows
+
+
+def format_csv(rows, delimiter: str = ",") -> str:
+    """Format rows of values as CSV, quoting where needed."""
+    def field(value) -> str:
+        text = str(value)
+        if delimiter in text or '"' in text or "\n" in text:
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    return "\n".join(delimiter.join(field(v) for v in row) for row in rows)
+
+
+def parse_query_string(query: str) -> dict[str, str]:
+    """Parse ``a=1&b=two`` into a dict (no URL decoding beyond %XX)."""
+    result: dict[str, str] = {}
+    for pair in query.lstrip("?").split("&"):
+        if not pair:
+            continue
+        key, _sep, value = pair.partition("=")
+        result[_unquote(key)] = _unquote(value)
+    return result
+
+
+_PERCENT = _re.compile(r"%([0-9A-Fa-f]{2})")
+
+
+def _unquote(text: str) -> str:
+    return _PERCENT.sub(lambda m: chr(int(m.group(1), 16)), text.replace("+", " "))
+
+
+def format_table(headers, rows) -> str:
+    """Align rows under headers — hlibc-style formatting helper."""
+    headers = [str(h) for h in headers]
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+# -- math ----------------------------------------------------------------------
+
+sqrt = _math.sqrt
+floor = _math.floor
+ceil = _math.ceil
+log = _math.log
+log2 = _math.log2
+exp = _math.exp
+sin = _math.sin
+cos = _math.cos
+pi = _math.pi
+
+
+def mean(values) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def variance(values) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("variance of empty sequence")
+    centre = mean(values)
+    return sum((v - centre) ** 2 for v in values) / len(values)
+
+
+class _HlibModule:
+    """Attribute-access façade injected into sourced functions."""
+
+    def __init__(self, names):
+        for name in names:
+            setattr(self, name, globals()[name])
+
+    def __repr__(self) -> str:
+        return "<hlib (syscall-free utility library)>"
+
+
+HLIB_NAMESPACE = _HlibModule([n for n in __all__ if n != "HLIB_NAMESPACE"])

@@ -1,0 +1,105 @@
+"""Purity enforcement for compute functions.
+
+Dandelion compute functions "do not issue syscalls" (§1 footnote):
+inputs are pre-loaded into the function's memory region, file access
+goes through the in-memory virtual filesystem, and "functions requiring
+system calls (e.g., mmap, mprotect, socket or threading) have stub
+implementations, returning appropriate error codes" (§4.1).  The
+process backend goes further and terminates functions caught making a
+syscall (§6.2).
+
+The reproduction enforces the same invariant on Python callables: while
+a compute function runs, the OS-facing entry points a Python function
+would use to escape its sandbox — ``open``, sockets, subprocesses,
+``os.system`` and friends, thread creation — are replaced with stubs
+that raise :class:`~repro.errors.SyscallBlocked`.  The harness converts
+that into a reported function failure, matching the prototype's
+"terminate and notify the user" behaviour.
+
+This is an in-process guard, not a hardware boundary: the real system
+gets memory isolation from KVM/CHERI/processes/rWasm.  What the guard
+preserves is the *programming-model* contract that the execution system
+relies on — compute functions cannot block on I/O, so engines can run
+them to completion on a dedicated core.
+"""
+
+from __future__ import annotations
+
+import builtins
+import io
+import os
+import socket
+import subprocess
+import threading
+from contextlib import contextmanager
+
+from ..errors import SyscallBlocked
+
+__all__ = ["purity_guard", "PURITY_BLOCKED_OPERATIONS"]
+
+# Operation name -> (module-like object, attribute). Each is replaced by
+# a raising stub while a compute function executes.
+PURITY_BLOCKED_OPERATIONS = [
+    ("open", builtins, "open"),
+    ("io.open", io, "open"),
+    ("os.open", os, "open"),
+    ("os.system", os, "system"),
+    ("os.popen", os, "popen"),
+    ("os.fork", os, "fork") if hasattr(os, "fork") else None,
+    ("os.remove", os, "remove"),
+    ("os.rename", os, "rename"),
+    ("os.mkdir", os, "mkdir"),
+    ("socket.socket", socket, "socket"),
+    ("socket.create_connection", socket, "create_connection"),
+    ("subprocess.Popen", subprocess, "Popen"),
+    ("subprocess.run", subprocess, "run"),
+    ("threading.Thread.start", threading.Thread, "start"),
+]
+PURITY_BLOCKED_OPERATIONS = [entry for entry in PURITY_BLOCKED_OPERATIONS if entry]
+
+
+def _make_stub(operation_name: str):
+    def stub(*_args, **_kwargs):
+        raise SyscallBlocked(
+            f"compute functions cannot use {operation_name}; "
+            "use the virtual filesystem for data and communication "
+            "functions for I/O"
+        )
+
+    return stub
+
+
+_guard_depth = 0
+
+
+@contextmanager
+def purity_guard():
+    """Context manager blocking syscall-like operations.
+
+    Re-entrant: nested guards keep the stubs installed until the
+    outermost guard exits, then restore the originals.
+    """
+    global _guard_depth
+    saved: list[tuple[object, str, object]] = []
+    _guard_depth += 1
+    try:
+        if _guard_depth == 1:
+            for operation_name, holder, attribute in PURITY_BLOCKED_OPERATIONS:
+                saved.append((holder, attribute, getattr(holder, attribute)))
+                setattr(holder, attribute, _make_stub(operation_name))
+        yield
+    finally:
+        _guard_depth -= 1
+        if _guard_depth == 0 and saved:
+            for holder, attribute, original in saved:
+                setattr(holder, attribute, original)
+        elif _guard_depth == 0:
+            # Outermost guard exited but installed nothing (should not
+            # happen); restore is a no-op.
+            pass
+
+
+# When depth > 1 the inner guard saved nothing, so restoration happens
+# exactly once, at the outermost exit.  The module keeps the saved list
+# local to each guard invocation; only the outermost has a non-empty
+# one.

@@ -1,0 +1,51 @@
+"""Simulated network, HTTP model, sanitization, and remote services."""
+
+from .http import (
+    ALLOWED_METHODS,
+    ALLOWED_VERSIONS,
+    HttpRequest,
+    HttpResponse,
+    SanitizationError,
+    sanitize_request,
+)
+from .kv import (
+    KV_OPS,
+    KeyValueStoreService,
+    format_kv_request,
+    parse_kv_request_item,
+    parse_kv_response_item,
+    sanitize_kv_request,
+)
+from .network import HttpService, LatencyModel, SimulatedNetwork
+from .services import (
+    AuthService,
+    EchoService,
+    LlmService,
+    LogShardService,
+    ObjectStoreService,
+    SqlDatabaseService,
+)
+
+__all__ = [
+    "ALLOWED_METHODS",
+    "ALLOWED_VERSIONS",
+    "HttpRequest",
+    "HttpResponse",
+    "SanitizationError",
+    "sanitize_request",
+    "KV_OPS",
+    "KeyValueStoreService",
+    "format_kv_request",
+    "parse_kv_request_item",
+    "parse_kv_response_item",
+    "sanitize_kv_request",
+    "HttpService",
+    "LatencyModel",
+    "SimulatedNetwork",
+    "AuthService",
+    "EchoService",
+    "LlmService",
+    "LogShardService",
+    "ObjectStoreService",
+    "SqlDatabaseService",
+]

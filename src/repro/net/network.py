@@ -1,0 +1,150 @@
+"""Simulated data-centre network and service registry.
+
+External services (cloud storage, auth, LLM inference, databases) run
+in-process but are reached through a latency-modelled network, so that
+communication functions experience realistic request/response timing
+while producing real bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.core import Environment
+from .http import HttpRequest, HttpResponse
+
+__all__ = ["LatencyModel", "SimulatedNetwork", "HttpService"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Two-parameter intra-DC network model: RTT plus bandwidth."""
+
+    round_trip_seconds: float = 200e-6       # same-AZ TCP round trip
+    bytes_per_second: float = 1.25e9         # ~10 Gbit/s
+
+    def transfer_seconds(self, payload_bytes: int) -> float:
+        return payload_bytes / self.bytes_per_second
+
+    def request_seconds(self, request: HttpRequest) -> float:
+        """Time for the request to reach the service (half RTT + send)."""
+        return self.round_trip_seconds / 2 + self.transfer_seconds(request.size)
+
+    def response_seconds(self, response: HttpResponse) -> float:
+        return self.round_trip_seconds / 2 + self.transfer_seconds(response.size)
+
+
+class HttpService:
+    """Base class for simulated remote services.
+
+    Subclasses implement :meth:`handle` (the functional behaviour —
+    real request in, real response out) and may override
+    :meth:`service_seconds` (the modelled server-side processing time).
+    """
+
+    def __init__(self, host: str):
+        if not host:
+            raise ValueError("service host must be non-empty")
+        self.host = host
+        self.requests_served = 0
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        raise NotImplementedError
+
+    def service_seconds(self, request: HttpRequest, response: HttpResponse) -> float:
+        """Modelled processing time; default scales with response size."""
+        return 50e-6 + response.size / 5e9
+
+    def _count(self) -> None:
+        self.requests_served += 1
+
+
+class SimulatedNetwork:
+    """Routes HTTP requests to registered services with modelled latency."""
+
+    def __init__(self, env: Environment, latency: LatencyModel = LatencyModel()):
+        self.env = env
+        self.latency = latency
+        self._services: dict[str, HttpService] = {}
+        self.requests_sent = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def register(self, service: HttpService) -> None:
+        if service.host in self._services:
+            raise ValueError(f"host {service.host!r} already registered")
+        self._services[service.host] = service
+
+    def service(self, host: str) -> HttpService:
+        try:
+            return self._services[host]
+        except KeyError:
+            raise KeyError(f"no service registered for host {host!r}")
+
+    @property
+    def hosts(self) -> list[str]:
+        return sorted(self._services)
+
+    def perform(self, request: HttpRequest):
+        """Simulation process carrying out one HTTP exchange.
+
+        Yields timeouts for network and service time, then returns the
+        :class:`HttpResponse`.  Unknown hosts return a 502 response
+        after one RTT (connection refused), mirroring how the real
+        communication function surfaces unreachable services as errors
+        rather than crashing the engine.
+
+        Services that define a generator method ``handle_process``
+        (e.g. a Dandelion worker frontend serving a full invocation)
+        are driven in virtual time instead of the synchronous
+        ``handle`` + fixed service-time model — this is what lets
+        compositions "spawn new compositions dynamically through
+        Dandelion's HTTP interface" (§4.1).
+        """
+        self.requests_sent += 1
+        self.bytes_sent += request.size
+        service = self._services.get(request.host)
+        if service is None:
+            yield self.env.timeout(self.latency.round_trip_seconds)
+            return HttpResponse(status=502, reason=f"no route to host {request.host!r}")
+        yield self.env.timeout(self.latency.request_seconds(request))
+        handler_process = getattr(service, "handle_process", None)
+        if handler_process is not None:
+            response = yield self.env.process(handler_process(request))
+            service._count()
+        else:
+            response = service.handle(request)
+            service._count()
+            yield self.env.timeout(service.service_seconds(request, response))
+        yield self.env.timeout(self.latency.response_seconds(response))
+        self.bytes_received += response.size
+        return response
+
+    def perform_kv(self, host: str, op: str, key: str, value: bytes):
+        """Carry out one key-value exchange over the TCP-style protocol.
+
+        Returns ``(status, value_bytes, reason)``.  Targets services
+        exposing :meth:`handle_kv` (see :mod:`repro.net.kv`); other
+        services — or unknown hosts — yield a 502 after one RTT.
+        """
+        self.requests_sent += 1
+        request_bytes = len(key) + len(value) + 16
+        self.bytes_sent += request_bytes
+        service = self._services.get(host)
+        handle_kv = getattr(service, "handle_kv", None)
+        if handle_kv is None:
+            yield self.env.timeout(self.latency.round_trip_seconds)
+            return 502, b"", f"no kv service at host {host!r}"
+        yield self.env.timeout(
+            self.latency.round_trip_seconds / 2
+            + self.latency.transfer_seconds(request_bytes)
+        )
+        status, response_value, reason = handle_kv(op, key, value)
+        service._count()
+        yield self.env.timeout(service.service_seconds(len(response_value)))
+        yield self.env.timeout(
+            self.latency.round_trip_seconds / 2
+            + self.latency.transfer_seconds(len(response_value) + 16)
+        )
+        self.bytes_received += len(response_value) + 16
+        return status, response_value, reason

@@ -1,0 +1,78 @@
+"""AWS Athena latency/cost model and EC2 pricing (Fig 9 baseline).
+
+Athena is a Query-as-a-Service: "providers managing infrastructure and
+billing per byte read" (§7.7).  The paper compares SSB latency and cost
+(in US cents) between Athena and Dandelion-on-EC2 (m7a.8xlarge, 32
+cores, same region as the S3 bucket), excluding Athena's queueing
+delay.
+
+Model parameters:
+
+* Athena bills $5 per TB scanned with a 10 MB per-query minimum (the
+  published pricing);
+* query latency = engine startup/planning overhead plus scan time at an
+  effective aggregate bandwidth — for short queries the fixed overhead
+  dominates, which is exactly the regime where the paper reports
+  Dandelion winning by 40%/67%;
+* Dandelion's cost = EC2 on-demand price × query execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AthenaModel", "Ec2CostModel", "M7A_8XLARGE_HOURLY_USD"]
+
+TB = 1e12
+MB = 1e6
+
+# us-east-1 on-demand price of m7a.8xlarge (32 vCPU), USD per hour.
+M7A_8XLARGE_HOURLY_USD = 1.8546
+
+
+@dataclass(frozen=True)
+class AthenaModel:
+    """Latency and cost of an Athena query over S3 data."""
+
+    price_per_tb_usd: float = 5.0
+    minimum_billed_bytes: float = 10 * MB
+    # Fixed engine/planning overhead per query (excludes queueing,
+    # which the paper also excludes).
+    startup_seconds: float = 2.2
+    # Effective scan bandwidth of the serverless engine fleet.
+    scan_bytes_per_second: float = 4e9
+    # Extra per-join planning/shuffle overhead.
+    per_join_seconds: float = 0.15
+
+    def latency_seconds(self, scanned_bytes: float, joins: int = 1) -> float:
+        if scanned_bytes < 0:
+            raise ValueError("scanned_bytes must be non-negative")
+        return (
+            self.startup_seconds
+            + joins * self.per_join_seconds
+            + scanned_bytes / self.scan_bytes_per_second
+        )
+
+    def cost_usd(self, scanned_bytes: float) -> float:
+        if scanned_bytes < 0:
+            raise ValueError("scanned_bytes must be non-negative")
+        billed = max(self.minimum_billed_bytes, scanned_bytes)
+        return billed / TB * self.price_per_tb_usd
+
+    def cost_cents(self, scanned_bytes: float) -> float:
+        return 100.0 * self.cost_usd(scanned_bytes)
+
+
+@dataclass(frozen=True)
+class Ec2CostModel:
+    """Pay-per-time cost of running Dandelion on an EC2 instance."""
+
+    hourly_usd: float = M7A_8XLARGE_HOURLY_USD
+
+    def cost_usd(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return self.hourly_usd * seconds / 3600.0
+
+    def cost_cents(self, seconds: float) -> float:
+        return 100.0 * self.cost_usd(seconds)

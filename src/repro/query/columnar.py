@@ -1,0 +1,233 @@
+"""Columnar tables — the data substrate of the query engine (§7.7).
+
+The prototype ports Apache Arrow Acero operators to Dandelion; this
+reproduction implements a compact Arrow-like columnar layer from
+scratch: a :class:`Table` is a named set of equal-length columns,
+numeric columns are numpy arrays, string columns are numpy object
+arrays.  Tables serialize to a self-describing binary format (JSON
+header + raw little-endian buffers; strings as UTF-8 with offsets) so
+they can travel through Dandelion data items and the simulated object
+store without pickle.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["Table", "TableError"]
+
+_MAGIC = b"COLT"
+_NUMERIC_KINDS = ("i", "u", "f", "b")
+
+
+class TableError(Exception):
+    """Raised for malformed tables or schema mismatches."""
+
+
+class Table:
+    """An immutable-by-convention named collection of columns."""
+
+    def __init__(self, name: str, columns: dict[str, "np.ndarray | list"]):
+        if not name:
+            raise TableError("table name must be non-empty")
+        self.name = name
+        self._columns: dict[str, np.ndarray] = {}
+        length: Optional[int] = None
+        for column_name, values in columns.items():
+            array = self._normalize(values)
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise TableError(
+                    f"column {column_name!r} has {len(array)} rows, expected {length}"
+                )
+            self._columns[column_name] = array
+        self._length = length or 0
+
+    @staticmethod
+    def _normalize(values) -> np.ndarray:
+        if isinstance(values, np.ndarray):
+            if values.dtype.kind in _NUMERIC_KINDS:
+                return values
+            return np.asarray(values, dtype=object)
+        values = list(values)
+        if values and isinstance(values[0], str):
+            return np.asarray(values, dtype=object)
+        if values and isinstance(values[0], (int, np.integer)):
+            return np.asarray(values, dtype=np.int64)
+        if values and isinstance(values[0], (float, np.floating)):
+            return np.asarray(values, dtype=np.float64)
+        if not values:
+            return np.asarray(values, dtype=np.int64)
+        return np.asarray(values, dtype=object)
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise TableError(f"table {self.name!r} has no column {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        return self._length
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, name: str, rows: Iterable[dict]) -> "Table":
+        rows = list(rows)
+        if not rows:
+            return cls(name, {})
+        columns = {key: [row[key] for row in rows] for key in rows[0]}
+        return cls(name, columns)
+
+    def to_rows(self) -> list[dict]:
+        names = self.column_names
+        arrays = [self._columns[n] for n in names]
+        return [
+            {name: _python_value(array[index]) for name, array in zip(names, arrays)}
+            for index in range(self._length)
+        ]
+
+    def head(self, count: int) -> "Table":
+        return self.take(np.arange(min(count, self._length)))
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Row subset by integer indices (or boolean mask)."""
+        return Table(
+            self.name, {name: array[indices] for name, array in self._columns.items()}
+        )
+
+    def select(self, names: Iterable[str]) -> "Table":
+        names = list(names)
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise TableError(f"table {self.name!r} missing columns {missing}")
+        return Table(self.name, {n: self._columns[n] for n in names})
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        return Table(
+            self.name,
+            {mapping.get(name, name): array for name, array in self._columns.items()},
+        )
+
+    def with_name(self, name: str) -> "Table":
+        return Table(name, dict(self._columns))
+
+    # -- serialization --------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the self-describing binary format."""
+        header: dict = {"name": self.name, "rows": self._length, "columns": []}
+        buffers: list[bytes] = []
+        for column_name, array in self._columns.items():
+            if array.dtype.kind in _NUMERIC_KINDS:
+                data = np.ascontiguousarray(array).tobytes()
+                header["columns"].append(
+                    {"name": column_name, "kind": "numeric", "dtype": array.dtype.str}
+                )
+                buffers.append(data)
+            else:
+                encoded = [str(v).encode("utf-8") for v in array]
+                offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+                np.cumsum([len(e) for e in encoded], out=offsets[1:])
+                header["columns"].append({"name": column_name, "kind": "string"})
+                buffers.append(offsets.tobytes())
+                buffers.append(b"".join(encoded))
+        header_blob = json.dumps(header).encode("utf-8")
+        out = io.BytesIO()
+        out.write(_MAGIC)
+        out.write(struct.pack("<I", len(header_blob)))
+        out.write(header_blob)
+        for buffer in buffers:
+            out.write(struct.pack("<Q", len(buffer)))
+            out.write(buffer)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Table":
+        view = memoryview(blob)
+        if bytes(view[:4]) != _MAGIC:
+            raise TableError("not a serialized table (bad magic)")
+        (header_length,) = struct.unpack("<I", view[4:8])
+        position = 8
+        try:
+            header = json.loads(bytes(view[position : position + header_length]))
+        except ValueError as exc:
+            raise TableError(f"corrupt table header: {exc}") from exc
+        position += header_length
+
+        def next_buffer() -> memoryview:
+            nonlocal position
+            if position + 8 > len(view):
+                raise TableError("truncated table data")
+            (length,) = struct.unpack("<Q", view[position : position + 8])
+            position += 8
+            if position + length > len(view):
+                raise TableError("truncated table buffer")
+            buffer = view[position : position + length]
+            position += length
+            return buffer
+
+        rows = header["rows"]
+        columns: dict[str, np.ndarray] = {}
+        for descriptor in header["columns"]:
+            if descriptor["kind"] == "numeric":
+                array = np.frombuffer(next_buffer(), dtype=np.dtype(descriptor["dtype"]))
+                if len(array) != rows:
+                    raise TableError("numeric column length mismatch")
+                columns[descriptor["name"]] = array.copy()
+            else:
+                offsets = np.frombuffer(next_buffer(), dtype=np.int64)
+                payload = bytes(next_buffer())
+                if len(offsets) != rows + 1:
+                    raise TableError("string offsets length mismatch")
+                values = np.empty(rows, dtype=object)
+                for index in range(rows):
+                    values[index] = payload[offsets[index] : offsets[index + 1]].decode("utf-8")
+                columns[descriptor["name"]] = values
+        return cls(header["name"], columns)
+
+    # -- misc --------------------------------------------------------------
+
+    def concat(self, other: "Table") -> "Table":
+        """Row-wise concatenation (schemas must match)."""
+        if set(self.column_names) != set(other.column_names):
+            raise TableError("concat requires identical schemas")
+        return Table(
+            self.name,
+            {
+                name: np.concatenate([self._columns[name], other.column(name)])
+                for name in self.column_names
+            },
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self._length} rows x {len(self._columns)} cols)"
+
+
+def _python_value(value):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value

@@ -1,0 +1,331 @@
+"""A small SQL engine over columnar tables.
+
+Supports the subset the Text2SQL workflow (§7.7) produces:
+
+.. code-block:: sql
+
+    SELECT col, AGG(col) AS alias, ...
+    FROM table
+    [WHERE col OP literal [AND ...]]
+    [GROUP BY col, ...]
+    [ORDER BY col [ASC|DESC]]
+    [LIMIT n]
+
+with ``COUNT(*)``, ``SUM``, ``AVG``, ``MIN``, ``MAX`` aggregates and
+``=, !=, <, <=, >, >=`` comparisons against numeric or quoted string
+literals.  The engine parses into a :class:`SqlQuery` plan and executes
+it with the operator library, so the same code paths the SSB queries
+use also serve ad-hoc SQL.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .columnar import Table
+from .operators import (
+    Aggregation,
+    Predicate,
+    filter_rows,
+    group_aggregate,
+    limit,
+    project,
+    sort_rows,
+)
+
+__all__ = ["SqlError", "SqlQuery", "parse_sql", "SqlDatabase"]
+
+_AGG_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+class SqlError(ValueError):
+    """Syntax or semantic error in a SQL query."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the SELECT list."""
+
+    expression: str            # column name, or agg function name
+    column: Optional[str]      # None for COUNT(*)
+    alias: str
+    is_aggregate: bool
+
+
+@dataclass(frozen=True)
+class Condition:
+    column: str
+    op: str
+    value: object
+
+
+@dataclass
+class SqlQuery:
+    """A parsed SELECT statement."""
+
+    select: list[SelectItem]
+    table: str
+    where: list[Condition] = field(default_factory=list)
+    group_by: list[str] = field(default_factory=list)
+    order_by: Optional[str] = None
+    order_desc: bool = False
+    limit_count: Optional[int] = None
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(item.is_aggregate for item in self.select)
+
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<string>'[^']*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<word>[A-Za-z_][A-Za-z_0-9.]*)
+      | (?P<symbol><=|>=|!=|<>|=|<|>|\(|\)|,|\*)
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(sql: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    sql = sql.strip().rstrip(";")
+    while position < len(sql):
+        match = _TOKEN.match(sql, position)
+        if match is None:
+            raise SqlError(f"unexpected character at {sql[position:position + 10]!r}")
+        position = match.end()
+        tokens.append(match.group().strip())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect_word(self, word: str) -> None:
+        token = self.next()
+        if token.lower() != word.lower():
+            raise SqlError(f"expected {word!r}, got {token!r}")
+
+    def at_word(self, word: str) -> bool:
+        token = self.peek()
+        return token is not None and token.lower() == word.lower()
+
+    def parse(self) -> SqlQuery:
+        self.expect_word("select")
+        select = self._select_list()
+        self.expect_word("from")
+        table = self.next()
+        where: list[Condition] = []
+        group_by: list[str] = []
+        order_by = None
+        order_desc = False
+        limit_count = None
+        while self.peek() is not None:
+            token = self.next().lower()
+            if token == "where":
+                where = self._conditions()
+            elif token == "group":
+                self.expect_word("by")
+                group_by = self._name_list()
+            elif token == "order":
+                self.expect_word("by")
+                order_by = self.next()
+                if self.at_word("desc"):
+                    self.next()
+                    order_desc = True
+                elif self.at_word("asc"):
+                    self.next()
+            elif token == "limit":
+                try:
+                    limit_count = int(self.next())
+                except ValueError:
+                    raise SqlError("LIMIT expects an integer")
+            else:
+                raise SqlError(f"unexpected token {token!r}")
+        return SqlQuery(select, table, where, group_by, order_by, order_desc, limit_count)
+
+    def _select_list(self) -> list[SelectItem]:
+        items: list[SelectItem] = []
+        while True:
+            items.append(self._select_item())
+            if self.at_word("from") or self.peek() is None:
+                break
+            token = self.next()
+            if token != ",":
+                raise SqlError(f"expected ',' in select list, got {token!r}")
+        return items
+
+    def _select_item(self) -> SelectItem:
+        token = self.next()
+        if token == "*":
+            return SelectItem("*", None, "*", is_aggregate=False)
+        lowered = token.lower()
+        if lowered in _AGG_FUNCTIONS and self.peek() == "(":
+            self.next()  # (
+            inner = self.next()
+            column = None if inner == "*" else inner
+            if inner == "*" and lowered != "count":
+                raise SqlError(f"{lowered.upper()}(*) is not valid")
+            closing = self.next()
+            if closing != ")":
+                raise SqlError("expected ')'")
+            alias = f"{lowered}_{column or 'all'}"
+            if self.at_word("as"):
+                self.next()
+                alias = self.next()
+            return SelectItem(lowered, column, alias, is_aggregate=True)
+        alias = token
+        if self.at_word("as"):
+            self.next()
+            alias = self.next()
+        return SelectItem(token, token, alias, is_aggregate=False)
+
+    def _conditions(self) -> list[Condition]:
+        conditions = [self._condition()]
+        while self.at_word("and"):
+            self.next()
+            conditions.append(self._condition())
+        return conditions
+
+    def _condition(self) -> Condition:
+        column = self.next()
+        op = self.next()
+        if op == "=":
+            op = "=="
+        if op == "<>":
+            op = "!="
+        if op not in ("==", "!=", "<", "<=", ">", ">="):
+            raise SqlError(f"unsupported operator {op!r}")
+        return Condition(column, op, self._literal(self.next()))
+
+    @staticmethod
+    def _literal(token: str):
+        if token.startswith("'") and token.endswith("'"):
+            return token[1:-1]
+        try:
+            if "." in token:
+                return float(token)
+            return int(token)
+        except ValueError:
+            raise SqlError(f"expected a literal, got {token!r}")
+
+    def _name_list(self) -> list[str]:
+        names = [self.next()]
+        while self.peek() == ",":
+            self.next()
+            names.append(self.next())
+        return names
+
+
+def _without_order(query: SqlQuery) -> SqlQuery:
+    return SqlQuery(
+        query.select, query.table, query.where, query.group_by,
+        None, False, query.limit_count,
+    )
+
+
+def parse_sql(sql: str) -> SqlQuery:
+    """Parse a SELECT statement into a :class:`SqlQuery` plan."""
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise SqlError("empty query")
+    return _Parser(tokens).parse()
+
+
+class SqlDatabase:
+    """A named collection of tables with a ``query`` entry point.
+
+    Doubles as the executor behind
+    :class:`~repro.net.services.SqlDatabaseService` for the Text2SQL
+    workflow.
+    """
+
+    def __init__(self, tables: Optional[dict[str, Table]] = None):
+        self._tables: dict[str, Table] = dict(tables or {})
+
+    def add_table(self, table: Table) -> None:
+        self._tables[table.name] = table
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SqlError(f"no table {name!r}")
+
+    def execute(self, sql: str) -> Table:
+        """Run a SELECT and return the result as a table."""
+        query = parse_sql(sql)
+        source = self.table(query.table)
+        if query.where:
+            predicate = Predicate.true()
+            for condition in query.where:
+                predicate.and_where(condition.column, condition.op, condition.value)
+            source = filter_rows(source, predicate)
+        if query.has_aggregates or query.group_by:
+            aggregations = []
+            for item in query.select:
+                if item.is_aggregate:
+                    aggregations.append(Aggregation(item.alias, item.expression, item.column))
+                elif item.column not in query.group_by and item.column != "*":
+                    raise SqlError(
+                        f"column {item.column!r} must appear in GROUP BY or an aggregate"
+                    )
+            result = group_aggregate(source, query.group_by, aggregations)
+            # Preserve select order: group columns first as listed.
+            ordered = [
+                item.alias if item.is_aggregate else item.column
+                for item in query.select
+            ]
+            rename = {
+                item.column: item.alias
+                for item in query.select
+                if not item.is_aggregate and item.alias != item.column
+            }
+            result = result.select([c if c in result.column_names else c for c in ordered])
+            result = result.rename(rename)
+        else:
+            # SQL permits ORDER BY on columns the projection drops, so
+            # sort before projecting when the key is a source column.
+            if query.order_by and query.order_by in source.column_names:
+                source = sort_rows(source, query.order_by, ascending=not query.order_desc)
+                query = _without_order(query)
+            if any(item.expression == "*" for item in query.select):
+                result = source
+            else:
+                result = project(source, [item.column for item in query.select])
+                rename = {
+                    item.column: item.alias
+                    for item in query.select
+                    if item.alias != item.column
+                }
+                if rename:
+                    result = result.rename(rename)
+        if query.order_by:
+            result = sort_rows(result, query.order_by, ascending=not query.order_desc)
+        if query.limit_count is not None:
+            result = limit(result, query.limit_count)
+        return result
+
+    def execute_rows(self, sql: str) -> list[dict]:
+        """Run a SELECT and return rows as dicts (the HTTP service API)."""
+        return self.execute(sql).to_rows()

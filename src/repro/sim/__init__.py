@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate for the Dandelion reproduction."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .cpu import ProcessorSharingCpu
+from .distributions import Rng
+from .metrics import Counter, LatencyRecorder, TimeSeries, percentile, relative_variance
+from .resources import PriorityStore, Request, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Rng",
+    "ProcessorSharingCpu",
+    "Counter",
+    "LatencyRecorder",
+    "TimeSeries",
+    "percentile",
+    "relative_variance",
+    "PriorityStore",
+    "Request",
+    "Resource",
+    "Store",
+]

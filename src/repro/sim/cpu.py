@@ -1,0 +1,131 @@
+"""Processor-sharing CPU model.
+
+Traditional FaaS sandboxes are multiplexed by the OS scheduler: when
+more runnable threads exist than cores, everyone slows down and pays
+context-switch overhead (§7.5 motivates Dandelion's run-to-completion
+design with exactly this effect).  :class:`ProcessorSharingCpu` models
+an ``n``-core machine under fair time-slicing: each of ``k`` active
+jobs progresses at rate ``min(1, n/k)`` cores, recomputed whenever a
+job arrives or departs, with an optional per-reschedule overhead
+standing in for context-switch cost.
+
+Dandelion's own engines do NOT use this model — they are dedicated
+cores with run-to-completion — which is precisely the comparison
+Fig 7 makes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core import Environment, Event
+
+__all__ = ["ProcessorSharingCpu"]
+
+
+class _Job:
+    __slots__ = ("remaining", "event", "last_update")
+
+    def __init__(self, work: float, event: Event, now: float):
+        self.remaining = work
+        self.event = event
+        self.last_update = now
+
+
+class ProcessorSharingCpu:
+    """An n-core CPU shared fairly among active jobs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cores: int,
+        switch_overhead_seconds: float = 0.0,
+        oversubscribed_efficiency: float = 1.0,
+    ):
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        if not 0.0 < oversubscribed_efficiency <= 1.0:
+            raise ValueError("oversubscribed_efficiency must be in (0, 1]")
+        self.env = env
+        self.cores = cores
+        self.switch_overhead_seconds = switch_overhead_seconds
+        # Fraction of CPU actually delivered to jobs while the run
+        # queue exceeds the core count — the rest is lost to context
+        # switches and cache pollution.
+        self.oversubscribed_efficiency = oversubscribed_efficiency
+        self._jobs: list[_Job] = []
+        self._timer: Optional[Event] = None
+        self._timer_generation = 0
+        self.jobs_completed = 0
+        self.busy_core_seconds = 0.0
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def current_rate(self) -> float:
+        """Per-job progress rate in cores (1.0 = a dedicated core)."""
+        if not self._jobs:
+            return 1.0
+        if len(self._jobs) <= self.cores:
+            return 1.0
+        return (self.cores / len(self._jobs)) * self.oversubscribed_efficiency
+
+    def consume(self, cpu_seconds: float) -> Event:
+        """Submit a job needing ``cpu_seconds`` of one core; returns its
+        completion event."""
+        if cpu_seconds < 0:
+            raise ValueError("cpu_seconds must be non-negative")
+        event = self.env.event()
+        if cpu_seconds == 0:
+            event.succeed()
+            return event
+        self._advance()
+        # Each membership change forces a round of context switches on
+        # oversubscribed cores.
+        work = cpu_seconds
+        if len(self._jobs) >= self.cores and self.switch_overhead_seconds:
+            work += self.switch_overhead_seconds
+        self._jobs.append(_Job(work, event, self.env.now))
+        self._reschedule()
+        return event
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account progress made since the last membership change."""
+        if not self._jobs:
+            return
+        rate = self.current_rate
+        now = self.env.now
+        for job in self._jobs:
+            elapsed = now - job.last_update
+            progressed = elapsed * rate
+            job.remaining = max(0.0, job.remaining - progressed)
+            job.last_update = now
+            self.busy_core_seconds += progressed
+
+    def _reschedule(self) -> None:
+        """Arm a timer for the earliest completion under the current rate."""
+        self._timer_generation += 1
+        generation = self._timer_generation
+        if not self._jobs:
+            return
+        rate = self.current_rate
+        soonest = min(job.remaining for job in self._jobs)
+        delay = soonest / rate if rate > 0 else float("inf")
+        self.env.process(self._fire_after(delay, generation))
+
+    def _fire_after(self, delay: float, generation: int):
+        yield self.env.timeout(delay)
+        if generation != self._timer_generation:
+            return  # superseded by a newer membership change
+        self._advance()
+        finished = [job for job in self._jobs if job.remaining <= 1e-12]
+        if finished:
+            self._jobs = [job for job in self._jobs if job.remaining > 1e-12]
+            for job in finished:
+                self.jobs_completed += 1
+                job.event.succeed()
+        self._reschedule()

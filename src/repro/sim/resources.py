@@ -1,0 +1,234 @@
+"""Shared resources for simulation processes.
+
+Provides the queueing primitives the platforms are built from:
+
+``Resource``
+    A counted resource (e.g. a pool of CPU cores) with a FIFO wait
+    queue.  Used via ``req = resource.request(); yield req; ...;
+    resource.release(req)`` or the :meth:`Resource.acquire` helper.
+
+``Store``
+    An unbounded (or bounded) FIFO buffer of items with blocking
+    ``get`` and ``put``.  Engine task queues are Stores.
+
+``PriorityStore``
+    A Store whose items are retrieved lowest-priority-value first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Request", "Store", "PriorityStore"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request from the wait queue."""
+        if self in self.resource._queue:
+            self.resource._queue.remove(self)
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    ``capacity`` slots exist; requests beyond capacity wait in arrival
+    order.  ``count`` reports slots currently held.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.env = env
+        self._capacity = capacity
+        self._queue: deque[Request] = deque()
+        self._users: list[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError("releasing a request that was never granted")
+        self._trigger()
+
+    def acquire(self):
+        """Context-manager style helper for use inside processes::
+
+            with resource.acquire() as req:
+                yield req
+                ...
+        """
+        return _ResourceContext(self)
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity; newly freed slots are granted immediately.
+
+        Shrinking below the in-use count does not preempt holders; the
+        resource simply grants no new slots until usage drops.
+        """
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self._capacity = capacity
+        self._trigger()
+
+    def _trigger(self) -> None:
+        while self._queue and len(self._users) < self._capacity:
+            request = self._queue.popleft()
+            self._users.append(request)
+            request.succeed(request)
+
+
+class _ResourceContext:
+    def __init__(self, resource: Resource):
+        self.resource = resource
+        self.request: Optional[Request] = None
+
+    def __enter__(self) -> Request:
+        self.request = self.resource.request()
+        return self.request
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self.request is not None
+        if self.request.processed:
+            self.resource.release(self.request)
+        else:
+            self.request.cancel()
+
+
+class Store:
+    """A FIFO buffer with blocking ``get``/``put``.
+
+    ``capacity`` bounds the number of stored items (``inf`` by
+    default).  ``get`` returns an event carrying the item.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list[Any]:
+        """Snapshot of buffered items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Add ``item``; the event fires once the item is accepted."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; the event fires carrying the item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _pop_item(self) -> Any:
+        return self._items.popleft()
+
+    def _push_item(self, item: Any) -> None:
+        self._items.append(item)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self._items) < self.capacity:
+                event, item = self._putters.popleft()
+                self._push_item(item)
+                event.succeed(item)
+                progressed = True
+            while self._getters and self._items:
+                event = self._getters.popleft()
+                event.succeed(self._pop_item())
+                progressed = True
+
+
+class PriorityStore(Store):
+    """A Store retrieving the lowest-priority item first.
+
+    Items are ``(priority, item)`` tuples on ``put``; ``get`` returns
+    just the item.  Ties are broken by insertion order.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> list[Any]:
+        return [item for _p, _s, item in sorted(self._heap)]
+
+    def put(self, item: Any, priority: Any = 0) -> Event:  # type: ignore[override]
+        event = Event(self.env)
+        self._putters.append((event, (priority, item)))
+        self._dispatch()
+        return event
+
+    def _push_item(self, pair: Any) -> None:
+        priority, item = pair
+        heapq.heappush(self._heap, (priority, next(self._seq), item))
+
+    def _pop_item(self) -> Any:
+        _priority, _seq, item = heapq.heappop(self._heap)
+        return item
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self._heap) < self.capacity:
+                event, pair = self._putters.popleft()
+                self._push_item(pair)
+                event.succeed(pair[1])
+                progressed = True
+            while self._getters and self._heap:
+                event = self._getters.popleft()
+                event.succeed(self._pop_item())
+                progressed = True

@@ -1,0 +1,27 @@
+"""Azure-Functions-like trace synthesis, sampling, and replay."""
+
+from .azure import AzureTrace, Invocation, TraceFunction, generate_trace
+from .azure import generate_functions
+from .replay import (
+    GUEST_OS_OVERHEAD_BYTES,
+    DandelionTraceWorker,
+    ReplayReport,
+    replay_on_dandelion,
+    replay_on_faas,
+)
+from .sampler import sample_functions, sample_trace
+
+__all__ = [
+    "AzureTrace",
+    "Invocation",
+    "TraceFunction",
+    "generate_trace",
+    "generate_functions",
+    "GUEST_OS_OVERHEAD_BYTES",
+    "DandelionTraceWorker",
+    "ReplayReport",
+    "replay_on_dandelion",
+    "replay_on_faas",
+    "sample_functions",
+    "sample_trace",
+]

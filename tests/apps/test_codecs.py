@@ -1,0 +1,171 @@
+"""Tests for the QOI codec and PNG encoder/decoder."""
+
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    PngError,
+    QoiError,
+    generate_test_image,
+    png_decode,
+    png_encode,
+    qoi_decode,
+    qoi_encode,
+    qoi_to_png,
+)
+
+
+def checker_pixels(width=8, height=8, channels=4):
+    pixels = bytearray()
+    for y in range(height):
+        for x in range(width):
+            value = 255 if (x + y) % 2 == 0 else 0
+            pixels += bytes([value, 255 - value, 128] + ([255] if channels == 4 else []))
+    return bytes(pixels)
+
+
+def test_qoi_roundtrip_rgba():
+    pixels = checker_pixels()
+    encoded = qoi_encode(pixels, 8, 8, 4)
+    decoded, width, height, channels = qoi_decode(encoded)
+    assert (width, height, channels) == (8, 8, 4)
+    assert decoded == pixels
+
+
+def test_qoi_roundtrip_rgb():
+    pixels = checker_pixels(channels=3)
+    encoded = qoi_encode(pixels, 8, 8, 3)
+    decoded, _w, _h, channels = qoi_decode(encoded)
+    assert channels == 3
+    assert decoded == pixels
+
+
+def test_qoi_run_length_compresses_flat_image():
+    flat = bytes([10, 20, 30, 255]) * (64 * 64)
+    encoded = qoi_encode(flat, 64, 64, 4)
+    assert len(encoded) < len(flat) / 50
+
+
+def test_qoi_long_run_split_at_62():
+    # 200 identical pixels needs multiple run ops; must roundtrip.
+    flat = bytes([1, 2, 3, 255]) * 200
+    encoded = qoi_encode(flat, 200, 1, 4)
+    decoded, _w, _h, _c = qoi_decode(encoded)
+    assert decoded == flat
+
+
+def test_qoi_alpha_changes_use_rgba_op():
+    pixels = bytes([5, 5, 5, 255, 5, 5, 5, 128])
+    encoded = qoi_encode(pixels, 2, 1, 4)
+    decoded, _w, _h, _c = qoi_decode(encoded)
+    assert decoded == pixels
+
+
+def test_qoi_encode_validation():
+    with pytest.raises(QoiError):
+        qoi_encode(b"", 0, 1, 4)
+    with pytest.raises(QoiError):
+        qoi_encode(b"\x00" * 10, 1, 1, 4)
+    with pytest.raises(QoiError):
+        qoi_encode(b"\x00" * 8, 1, 1, 2)
+
+
+def test_qoi_decode_rejects_garbage():
+    with pytest.raises(QoiError):
+        qoi_decode(b"not a qoi image at all....")
+    with pytest.raises(QoiError):
+        qoi_decode(b"qoif" + b"\x00" * 30)  # zero dimensions
+
+
+def test_qoi_decode_rejects_truncation():
+    encoded = qoi_encode(checker_pixels(), 8, 8, 4)
+    with pytest.raises(QoiError):
+        qoi_decode(encoded[: len(encoded) // 2])
+
+
+def test_qoi_decode_rejects_missing_end_marker():
+    encoded = bytearray(qoi_encode(checker_pixels(), 8, 8, 4))
+    encoded[-1] = 0x00
+    with pytest.raises(QoiError):
+        qoi_decode(bytes(encoded))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 12), st.integers(1, 12), st.binary(min_size=0, max_size=0), st.integers(0, 2**32 - 1))
+def test_property_qoi_roundtrip_random_images(width, height, _unused, seed):
+    import random
+    rng = random.Random(seed)
+    pixels = bytes(rng.randrange(256) for _ in range(width * height * 4))
+    encoded = qoi_encode(pixels, width, height, 4)
+    decoded, w, h, c = qoi_decode(encoded)
+    assert (w, h, c) == (width, height, 4)
+    assert decoded == pixels
+
+
+def test_png_roundtrip_rgba():
+    pixels = checker_pixels()
+    png = png_encode(pixels, 8, 8, 4)
+    decoded, width, height, channels = png_decode(png)
+    assert (width, height, channels) == (8, 8, 4)
+    assert decoded == pixels
+
+
+def test_png_roundtrip_rgb():
+    pixels = checker_pixels(channels=3)
+    png = png_encode(pixels, 8, 8, 3)
+    decoded, _w, _h, channels = png_decode(png)
+    assert channels == 3
+    assert decoded == pixels
+
+
+def test_png_structure_valid():
+    png = png_encode(checker_pixels(), 8, 8, 4)
+    assert png.startswith(b"\x89PNG\r\n\x1a\n")
+    assert b"IHDR" in png and b"IDAT" in png and png.endswith(
+        struct.pack(">I", zlib.crc32(b"IEND"))
+    )
+
+
+def test_png_encode_validation():
+    with pytest.raises(PngError):
+        png_encode(b"", 0, 1)
+    with pytest.raises(PngError):
+        png_encode(b"\x00" * 3, 1, 1, 2)
+    with pytest.raises(PngError):
+        png_encode(b"\x00" * 5, 1, 1, 4)
+
+
+def test_png_decode_rejects_bad_signature():
+    with pytest.raises(PngError):
+        png_decode(b"JFIF....")
+
+
+def test_png_decode_rejects_corrupt_crc():
+    png = bytearray(png_encode(checker_pixels(), 8, 8, 4))
+    png[20] ^= 0xFF  # flip a bit inside IHDR payload
+    with pytest.raises(PngError, match="CRC"):
+        png_decode(bytes(png))
+
+
+def test_qoi_to_png_preserves_pixels():
+    qoi = generate_test_image()
+    png = qoi_to_png(qoi)
+    qoi_pixels, width, height, channels = qoi_decode(qoi)
+    png_pixels, pw, ph, pc = png_decode(png)
+    assert (pw, ph, pc) == (width, height, channels)
+    assert png_pixels == qoi_pixels
+
+
+def test_generated_image_near_18kb():
+    # The Fig 8 app uses "an 18kB QOI image".
+    qoi = generate_test_image()
+    assert 14_000 < len(qoi) < 24_000
+
+
+def test_generated_image_deterministic():
+    assert generate_test_image(seed=3) == generate_test_image(seed=3)
+    assert generate_test_image(seed=3) != generate_test_image(seed=4)

@@ -1,0 +1,112 @@
+"""Tests for the IsolationBackend execution path."""
+
+import pytest
+
+from repro.backends import create_backend, default_compute_seconds
+from repro.data import DataItem, DataSet
+from repro.errors import FunctionFailure, FunctionTimeout
+from repro.functions import compute_function
+
+
+@compute_function(compute_cost=0.001)
+def echo(vfs):
+    data = vfs.read_bytes("/in/data/payload")
+    vfs.write_bytes("/out/result/payload", data)
+
+
+def payload_sets(data=b"hello"):
+    return [DataSet("data", [DataItem("payload", data)])]
+
+
+def test_execute_produces_real_outputs():
+    backend = create_backend("kvm", machine="morello")
+    execution = backend.execute(echo, payload_sets(b"abc"), ["result"])
+    assert execution.outputs[0].item("payload").data == b"abc"
+
+
+def test_execute_breakdown_has_all_stages():
+    backend = create_backend("cheri", machine="morello")
+    execution = backend.execute(echo, payload_sets(), ["result"])
+    assert set(execution.breakdown) == {
+        "marshal", "load", "transfer_input", "execute", "output", "other",
+    }
+    assert execution.total_seconds == pytest.approx(sum(execution.breakdown.values()))
+
+
+def test_execute_includes_declared_compute_cost():
+    backend = create_backend("process", machine="morello")
+    execution = backend.execute(echo, payload_sets(), ["result"])
+    assert execution.breakdown["execute"] >= 0.001
+
+
+def test_semantics_identical_across_backends():
+    results = {}
+    for name in ("cheri", "rwasm", "process", "kvm"):
+        backend = create_backend(name, machine="morello")
+        execution = backend.execute(echo, payload_sets(b"same"), ["result"])
+        results[name] = execution.outputs[0].item("payload").data
+    assert set(results.values()) == {b"same"}
+
+
+def test_timing_differs_across_backends():
+    totals = {}
+    for name in ("cheri", "kvm"):
+        backend = create_backend(name, machine="morello")
+        execution = backend.execute(echo, payload_sets(), ["result"])
+        totals[name] = execution.total_seconds
+    assert totals["cheri"] < totals["kvm"]
+
+
+def test_cached_execution_faster():
+    backend = create_backend("rwasm", machine="morello")
+    uncached = backend.execute(echo, payload_sets(), ["result"], cached=False)
+    cached = backend.execute(echo, payload_sets(), ["result"], cached=True)
+    assert cached.total_seconds < uncached.total_seconds
+
+
+def test_timeout_preempts_long_functions():
+    @compute_function(compute_cost=10.0)
+    def endless(vfs):
+        pass
+
+    backend = create_backend("kvm", machine="morello")
+    with pytest.raises(FunctionTimeout):
+        backend.execute(endless, [], ["out"], timeout=1.0)
+
+
+def test_timeout_not_triggered_for_fast_functions():
+    backend = create_backend("kvm", machine="morello")
+    execution = backend.execute(echo, payload_sets(), ["result"], timeout=1.0)
+    assert execution.outputs
+
+
+def test_failure_propagates():
+    @compute_function()
+    def broken(vfs):
+        raise KeyError("nope")
+
+    backend = create_backend("cheri", machine="morello")
+    with pytest.raises(FunctionFailure):
+        backend.execute(broken, [], ["out"])
+
+
+def test_default_compute_seconds_model():
+    assert default_compute_seconds(0) > 0
+    assert default_compute_seconds(1 << 20) > default_compute_seconds(1 << 10)
+
+
+def test_creation_seconds_excludes_execution():
+    backend = create_backend("kvm", machine="morello")
+    creation = backend.creation_seconds(echo)
+    execution = backend.execute(echo, payload_sets(), ["result"])
+    assert creation < execution.total_seconds
+
+
+def test_rwasm_slower_execution_than_kvm_for_compute_heavy():
+    @compute_function(compute_cost=0.01)
+    def heavy(vfs):
+        pass
+
+    rwasm = create_backend("rwasm", machine="morello").execute(heavy, [], ["out"])
+    kvm = create_backend("kvm", machine="morello").execute(heavy, [], ["out"])
+    assert rwasm.breakdown["execute"] > kvm.breakdown["execute"]

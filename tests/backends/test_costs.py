@@ -1,0 +1,105 @@
+"""Tests for backend cost models — Table 1 calibration is load-bearing."""
+
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    BACKEND_SPECS,
+    MICROSECOND,
+    REFERENCE_BINARY_SIZE,
+    REFERENCE_PAYLOAD_SIZE,
+    create_backend,
+)
+
+# Table 1 of the paper: per-stage latency in microseconds on Morello.
+TABLE1_MICRO = {
+    "cheri": {"marshal": 12, "load": 29, "transfer_input": 2, "execute": 5, "output": 9, "other": 32},
+    "rwasm": {"marshal": 15, "load": 147, "transfer_input": 2, "execute": 20, "output": 12, "other": 45},
+    "process": {"marshal": 12, "load": 54, "transfer_input": 6, "execute": 371, "output": 9, "other": 34},
+    "kvm": {"marshal": 30, "load": 194, "transfer_input": 2, "execute": 536, "output": 25, "other": 102},
+}
+TABLE1_TOTALS_MICRO = {"cheri": 89, "rwasm": 241, "process": 486, "kvm": 889}
+LINUX_TOTALS_MICRO = {"rwasm": 109, "process": 539, "kvm": 218}
+
+
+def reference_breakdown(backend_name, machine="morello"):
+    spec = BACKEND_SPECS[machine][backend_name]
+    return spec.breakdown(
+        binary_size=REFERENCE_BINARY_SIZE,
+        input_bytes=REFERENCE_PAYLOAD_SIZE,
+        output_bytes=REFERENCE_PAYLOAD_SIZE,
+        compute_seconds=0.0,
+        cached=False,
+    )
+
+
+@pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+def test_table1_stage_values_reproduced(backend_name):
+    breakdown = reference_breakdown(backend_name)
+    for stage, expected_micro in TABLE1_MICRO[backend_name].items():
+        assert breakdown[stage] == pytest.approx(expected_micro * MICROSECOND), stage
+
+
+@pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+def test_table1_totals_reproduced(backend_name):
+    total = sum(reference_breakdown(backend_name).values())
+    assert total == pytest.approx(TABLE1_TOTALS_MICRO[backend_name] * MICROSECOND)
+
+
+@pytest.mark.parametrize("backend_name", sorted(LINUX_TOTALS_MICRO))
+def test_linux_kernel_totals_reproduced(backend_name):
+    total = sum(reference_breakdown(backend_name, machine="linux").values())
+    assert total == pytest.approx(LINUX_TOTALS_MICRO[backend_name] * MICROSECOND, rel=1e-6)
+
+
+def test_backend_ordering_on_morello():
+    # CHERI < rWasm < process < KVM, the paper's headline ordering.
+    totals = [sum(reference_breakdown(n).values()) for n in ("cheri", "rwasm", "process", "kvm")]
+    assert totals == sorted(totals)
+
+
+def test_cheri_under_90_microseconds():
+    # "or even under 90 µs for CHERI-based sandboxes"
+    assert sum(reference_breakdown("cheri").values()) < 90 * MICROSECOND
+
+
+def test_larger_binary_costs_more_to_load():
+    spec = BACKEND_SPECS["morello"]["kvm"]
+    small = spec.load_seconds(REFERENCE_BINARY_SIZE, cached=False)
+    large = spec.load_seconds(REFERENCE_BINARY_SIZE * 100, cached=False)
+    assert large > small
+
+
+def test_cached_load_cheaper_than_disk():
+    spec = BACKEND_SPECS["morello"]["kvm"]
+    for size in (REFERENCE_BINARY_SIZE, 10 * REFERENCE_BINARY_SIZE):
+        assert spec.load_seconds(size, cached=True) < spec.load_seconds(size, cached=False)
+
+
+def test_payload_scaling_monotonic():
+    spec = BACKEND_SPECS["morello"]["cheri"]
+    assert spec.transfer_input_seconds(1 << 20) > spec.transfer_input_seconds(16)
+    assert spec.output_seconds(1 << 20) > spec.output_seconds(16)
+
+
+def test_rwasm_compute_slowdown_applied():
+    spec = BACKEND_SPECS["morello"]["rwasm"]
+    breakdown = spec.breakdown(
+        REFERENCE_BINARY_SIZE, 16, 16, compute_seconds=1.0, cached=False
+    )
+    assert breakdown["execute"] == pytest.approx(1.0 * spec.compute_slowdown + spec.stages.execute_overhead)
+    assert spec.compute_slowdown > 1.0
+
+
+def test_native_backends_no_slowdown():
+    for name in ("cheri", "process", "kvm"):
+        assert BACKEND_SPECS["morello"][name].compute_slowdown == 1.0
+
+
+def test_create_backend_factory():
+    backend = create_backend("kvm", machine="morello")
+    assert backend.name == "kvm"
+    with pytest.raises(ValueError, match="unknown backend"):
+        create_backend("firecracker")
+    with pytest.raises(ValueError, match="unknown machine"):
+        create_backend("kvm", machine="mars")

@@ -1,0 +1,192 @@
+"""Tests for the traditional-FaaS baseline platform model."""
+
+import pytest
+
+from repro.baselines import (
+    FIRECRACKER,
+    FIRECRACKER_SNAPSHOT,
+    GVISOR,
+    WASMTIME,
+    FaasPlatform,
+    FixedHotRatioPolicy,
+    KeepAlivePolicy,
+    Phase,
+    compute_phase,
+    io_phase,
+)
+from repro.sim import Environment, Rng
+
+
+def make_platform(spec=FIRECRACKER_SNAPSHOT, policy=None, cores=4, seed=0):
+    env = Environment()
+    policy = policy or FixedHotRatioPolicy(1.0, Rng(seed))
+    platform = FaasPlatform(env, spec, cores=cores, policy=policy)
+    return env, platform
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        Phase("gpu", 1.0)
+    with pytest.raises(ValueError):
+        Phase("compute", -1.0)
+
+
+def test_hot_request_latency_no_cold_start():
+    env, platform = make_platform()
+    platform.register_function("f", [compute_phase(0.002)])
+    record = env.run(until=platform.request("f"))
+    assert not record.cold
+    expected = FIRECRACKER_SNAPSHOT.hot_start_seconds + 0.002 * FIRECRACKER_SNAPSHOT.compute_slowdown
+    assert record.latency == pytest.approx(expected, rel=1e-6)
+
+
+def test_cold_request_pays_boot():
+    env, platform = make_platform(policy=FixedHotRatioPolicy(0.0, Rng(0)))
+    platform.register_function("f", [compute_phase(0.002)])
+    record = env.run(until=platform.request("f"))
+    assert record.cold
+    assert record.latency > FIRECRACKER_SNAPSHOT.cold_start_seconds
+
+
+def test_fresh_boot_much_slower_than_snapshot():
+    _env1, fresh = make_platform(spec=FIRECRACKER, policy=FixedHotRatioPolicy(0.0, Rng(0)))
+    fresh.register_function("f", [compute_phase(0.001)])
+    record_fresh = fresh.env.run(until=fresh.request("f"))
+    _env2, snap = make_platform(spec=FIRECRACKER_SNAPSHOT, policy=FixedHotRatioPolicy(0.0, Rng(0)))
+    snap.register_function("f", [compute_phase(0.001)])
+    record_snap = snap.env.run(until=snap.request("f"))
+    # Fresh boot ~150 ms vs restore (~12 ms + demand paging).
+    assert record_fresh.latency > 4 * record_snap.latency
+
+
+def test_hot_ratio_statistics():
+    env, platform = make_platform(policy=FixedHotRatioPolicy(0.97, Rng(5)))
+    platform.register_function("f", [compute_phase(1e-4)])
+
+    def run_many():
+        for _ in range(1000):
+            yield platform.request("f")
+
+    env.run(until=env.process(run_many()))
+    assert 0.01 < platform.cold_fraction() < 0.06
+
+
+def test_hot_ratio_bounds_validated():
+    with pytest.raises(ValueError):
+        FixedHotRatioPolicy(1.5, Rng(0))
+
+
+def test_io_phase_does_not_consume_cpu():
+    env, platform = make_platform(cores=1)
+    platform.register_function("io_heavy", [io_phase(0.05)])
+    first = platform.request("io_heavy")
+    second = platform.request("io_heavy")
+    env.run(until=env.all_of([first, second]))
+    # Two 50ms IO tasks overlap on one core.
+    assert env.now < 0.08
+
+
+def test_compute_contention_on_shared_cores():
+    env, platform = make_platform(cores=1)
+    platform.register_function("f", [compute_phase(0.01)])
+    requests = [platform.request("f") for _ in range(4)]
+    env.run(until=env.all_of(requests))
+    # 4x10ms on one core (plus slowdown): strictly serialized-ish.
+    assert env.now >= 0.04
+
+
+def test_compute_slowdown_applied():
+    env, platform = make_platform(spec=WASMTIME)
+    platform.register_function("f", [compute_phase(0.01)])
+    record = env.run(until=platform.request("f"))
+    assert record.latency >= 0.01 * WASMTIME.compute_slowdown
+
+
+def test_gvisor_slower_than_snapshot_cold():
+    assert GVISOR.cold_start_seconds > FIRECRACKER_SNAPSHOT.cold_start_seconds
+
+
+def test_keep_alive_makes_second_request_warm():
+    env, platform = make_platform(policy=KeepAlivePolicy(keep_alive_seconds=60))
+    platform.register_function("f", [compute_phase(0.001)])
+    first = env.run(until=platform.request("f"))
+    second = env.run(until=platform.request("f"))
+    assert first.cold
+    assert not second.cold
+
+
+def test_keep_alive_expires_sandbox():
+    env, platform = make_platform(policy=KeepAlivePolicy(keep_alive_seconds=1.0))
+    platform.register_function("f", [compute_phase(0.001)])
+    env.run(until=platform.request("f"))
+
+    def later():
+        yield env.timeout(5.0)
+        record = yield platform.request("f")
+        return record
+
+    record = env.run(until=env.process(later()))
+    assert record.cold
+    assert platform.warm_sandbox_count() <= 1
+
+
+def test_keep_alive_memory_committed_while_idle():
+    env, platform = make_platform(policy=KeepAlivePolicy(keep_alive_seconds=10.0))
+    platform.register_function("f", [compute_phase(0.001)])
+    env.run(until=platform.request("f"))
+    # Request done, but the sandbox memory is still committed.
+    assert platform.committed_bytes == FIRECRACKER_SNAPSHOT.sandbox_memory_bytes
+    env.run(until=env.timeout(20.0))
+    assert platform.committed_bytes == 0
+
+
+def test_memory_released_immediately_without_keepalive():
+    env, platform = make_platform(policy=KeepAlivePolicy(keep_alive_seconds=0.0))
+    platform.register_function("f", [compute_phase(0.001)])
+    env.run(until=platform.request("f"))
+    assert platform.committed_bytes == 0
+
+
+def test_standing_pool_memory_for_hot_ratio_policy():
+    env, platform = make_platform(policy=FixedHotRatioPolicy(0.97, Rng(0), hot_pool_size=4))
+    platform.register_function("f", [compute_phase(0.001)])
+    assert platform.committed_bytes == 4 * FIRECRACKER_SNAPSHOT.sandbox_memory_bytes
+
+
+def test_active_memory_tracks_running_requests():
+    env, platform = make_platform(policy=KeepAlivePolicy(keep_alive_seconds=0.0))
+    platform.register_function("f", [compute_phase(0.01)])
+    platform.request("f")
+    env.run(until=env.timeout(0.005))
+    assert platform.active_bytes == FIRECRACKER_SNAPSHOT.sandbox_memory_bytes
+    env.run()
+    assert platform.active_bytes == 0
+
+
+def test_per_function_latencies_tracked():
+    env, platform = make_platform()
+    platform.register_function("a", [compute_phase(0.001)])
+    platform.register_function("b", [compute_phase(0.002)])
+    env.run(until=env.all_of([platform.request("a"), platform.request("b")]))
+    assert platform.per_function_latencies["a"].count == 1
+    assert platform.per_function_latencies["b"].count == 1
+
+
+def test_duplicate_function_rejected():
+    _env, platform = make_platform()
+    platform.register_function("f", [compute_phase(0.001)])
+    with pytest.raises(ValueError):
+        platform.register_function("f", [compute_phase(0.001)])
+
+
+def test_unknown_function_rejected():
+    _env, platform = make_platform()
+    with pytest.raises(KeyError):
+        platform.request("ghost")
+
+
+def test_function_model_aggregates():
+    from repro.baselines import FunctionModel
+    model = FunctionModel("f", (compute_phase(1.0), io_phase(2.0), compute_phase(0.5)))
+    assert model.compute_seconds == 1.5
+    assert model.io_seconds == 2.0

@@ -1,0 +1,161 @@
+"""Tests for the Knative-style concurrency autoscaler."""
+
+import pytest
+
+from repro.baselines import FIRECRACKER_SNAPSHOT, compute_phase
+from repro.cluster.autoscaler import KnativeConfig, KnativeFaasPlatform
+from repro.sim import Environment, Rng
+
+
+def make_platform(config=None, cores=8):
+    env = Environment()
+    platform = KnativeFaasPlatform(
+        env,
+        FIRECRACKER_SNAPSHOT,
+        cores=cores,
+        config=config or KnativeConfig(
+            stable_window_seconds=10.0,
+            scale_to_zero_grace_seconds=5.0,
+            evaluation_interval_seconds=1.0,
+        ),
+    )
+    platform.register_function("f", [compute_phase(0.05)])
+    return env, platform
+
+
+def drive(env, platform, rate_rps, duration, start=None):
+    rng = Rng(1)
+    arrivals = rng.poisson_arrivals(rate_rps, duration, start=start if start is not None else env.now)
+
+    def driver():
+        processes = []
+        for arrival in arrivals:
+            if arrival > env.now:
+                yield env.timeout(arrival - env.now)
+            processes.append(platform.request("f"))
+        for process in processes:
+            yield process
+
+    env.run(until=env.process(driver()))
+    return len(arrivals)
+
+
+def test_first_request_cold_then_warm():
+    env, platform = make_platform()
+    first = env.run(until=platform.request("f"))
+    second = env.run(until=platform.request("f"))
+    assert first.cold
+    assert not second.cold
+    assert platform.pods_of("f") == 1
+
+
+def test_sustained_load_scales_up_pods():
+    env, platform = make_platform()
+    # 40 rps x 50ms service = concurrency ~2 sustained.
+    drive(env, platform, rate_rps=40, duration=20)
+    assert platform.pods_of("f") >= 2
+
+
+def test_pre_provisioned_pods_reduce_cold_starts():
+    env, platform = make_platform()
+    drive(env, platform, rate_rps=40, duration=30)
+    # After warmup, the vast majority of requests land on ready pods.
+    assert platform.cold_fraction() < 0.1
+
+
+def test_scale_down_after_stable_window():
+    env, platform = make_platform()
+    drive(env, platform, rate_rps=40, duration=15)
+    pods_at_peak = platform.pods_of("f")
+    # Silence: the stable window + grace should reclaim pods to zero.
+    env.run(until=env.timeout(60.0))
+    assert platform.pods_of("f") < pods_at_peak
+    assert platform.pods_of("f") == 0
+    assert platform.scale_downs > 0
+    assert platform.committed_bytes == 0
+
+
+def test_memory_tracks_pod_count():
+    env, platform = make_platform()
+    drive(env, platform, rate_rps=40, duration=15)
+    pods = platform.pods_of("f")
+    assert platform.committed_bytes == pods * FIRECRACKER_SNAPSHOT.sandbox_memory_bytes
+
+
+def test_burst_triggers_panic_scaling():
+    # Panic matters when pod creation is slow relative to the burst:
+    # use a pod-creation-scale cold start (~2 s, like a real Knative
+    # pod) so reactive cold starts cannot mask the controller.
+    import dataclasses
+    slow_spec = dataclasses.replace(FIRECRACKER_SNAPSHOT, cold_start_seconds=2.0)
+    env = Environment()
+    platform = KnativeFaasPlatform(
+        env, slow_spec, cores=16,
+        config=KnativeConfig(
+            stable_window_seconds=30.0,
+            evaluation_interval_seconds=1.0,
+            scale_to_zero_grace_seconds=5.0,
+        ),
+    )
+    platform.register_function("f", [compute_phase(0.05)])
+    # Quiet start, then a hard burst: the panic window reacts within
+    # seconds instead of waiting for the 30 s stable average.
+    drive(env, platform, rate_rps=2, duration=10)
+    pods_before = platform.pods_of("f")
+    drive(env, platform, rate_rps=100, duration=8)
+    assert platform.pods_of("f") > pods_before
+    assert platform.panic_entries > 0
+    assert platform.scale_ups > 0  # pre-provisioned, not just reactive
+
+
+def test_max_pods_cap_respected():
+    env, platform = make_platform(
+        config=KnativeConfig(
+            stable_window_seconds=5.0,
+            evaluation_interval_seconds=0.5,
+            scale_to_zero_grace_seconds=2.0,
+            max_pods_per_function=3,
+        )
+    )
+    drive(env, platform, rate_rps=200, duration=10)
+    # Reactive cold starts may momentarily exceed the autoscaler's cap,
+    # but the controller reclaims down toward it once load stops.
+    env.run(until=env.timeout(30.0))
+    assert platform.pods_of("f") <= 3
+
+
+def test_no_scale_down_during_panic():
+    config = KnativeConfig(
+        stable_window_seconds=8.0,
+        evaluation_interval_seconds=1.0,
+        scale_to_zero_grace_seconds=4.0,
+    )
+    env, platform = make_platform(config=config)
+    drive(env, platform, rate_rps=60, duration=20)
+    pods = platform.pods_of("f")
+    assert pods > 0
+
+
+def test_two_functions_scale_independently():
+    env = Environment()
+    platform = KnativeFaasPlatform(
+        env, FIRECRACKER_SNAPSHOT, cores=8,
+        config=KnativeConfig(stable_window_seconds=10.0, evaluation_interval_seconds=1.0),
+    )
+    platform.register_function("hot", [compute_phase(0.05)])
+    platform.register_function("idle", [compute_phase(0.05)])
+    rng = Rng(2)
+    arrivals = rng.poisson_arrivals(40, 15)
+
+    def driver():
+        processes = []
+        for arrival in arrivals:
+            if arrival > env.now:
+                yield env.timeout(arrival - env.now)
+            processes.append(platform.request("hot"))
+        for process in processes:
+            yield process
+
+    env.run(until=env.process(driver()))
+    assert platform.pods_of("hot") >= 1
+    assert platform.pods_of("idle") == 0

@@ -1,0 +1,124 @@
+"""Tests for the Dirigent-like cluster manager."""
+
+import pytest
+
+from repro.cluster import ROUTING_POLICIES, ClusterManager
+from repro.functions import compute_function
+from repro.worker import WorkerConfig
+
+COMPOSITION = """
+composition echo_comp {
+    compute e uses cluster_echo in(data) out(result);
+    input data -> e.data;
+    output e.result -> result;
+}
+"""
+
+
+@compute_function(name="cluster_echo", compute_cost=2e-3)
+def echo(vfs):
+    vfs.write_bytes("/out/result/data", vfs.read_bytes("/in/data/data"))
+
+
+def make_cluster(workers=2, policy="least_loaded", cores=4):
+    cluster = ClusterManager(
+        worker_count=workers,
+        worker_config=WorkerConfig(total_cores=cores, control_plane_enabled=False),
+        policy=policy,
+    )
+    cluster.register_function(echo)
+    cluster.register_composition(COMPOSITION)
+    return cluster
+
+
+def test_cluster_validation():
+    with pytest.raises(ValueError):
+        ClusterManager(worker_count=0)
+    with pytest.raises(ValueError):
+        ClusterManager(policy="chaotic")
+
+
+def test_single_invocation_roundtrip():
+    cluster = make_cluster()
+    result = cluster.invoke_and_run("echo_comp", {"data": b"hello"})
+    assert result.ok
+    assert result.output("result").item("data").data == b"hello"
+    assert cluster.invocations_routed == 1
+
+
+def test_registration_fans_out_to_all_workers():
+    cluster = make_cluster(workers=3)
+    for worker in cluster.workers:
+        assert worker.registry.has_function("cluster_echo")
+        assert worker.registry.has_composition("echo_comp")
+
+
+def test_round_robin_spreads_evenly():
+    cluster = make_cluster(workers=3, policy="round_robin")
+    processes = [
+        cluster.invoke("echo_comp", {"data": f"{i}".encode()}) for i in range(9)
+    ]
+    cluster.env.run(until=cluster.env.all_of(processes))
+    assert set(cluster.per_worker_invocations.values()) == {3}
+
+
+def test_least_loaded_balances_concurrent_burst():
+    cluster = make_cluster(workers=2, policy="least_loaded")
+    processes = [
+        cluster.invoke("echo_comp", {"data": b"x"}) for _ in range(8)
+    ]
+    cluster.env.run(until=cluster.env.all_of(processes))
+    counts = list(cluster.per_worker_invocations.values())
+    assert sum(counts) == 8
+    assert min(counts) >= 3  # roughly even under simultaneous arrivals
+
+
+def test_random_policy_uses_both_workers():
+    cluster = make_cluster(workers=2, policy="random")
+    processes = [
+        cluster.invoke("echo_comp", {"data": b"x"}) for _ in range(20)
+    ]
+    cluster.env.run(until=cluster.env.all_of(processes))
+    assert all(count > 0 for count in cluster.per_worker_invocations.values())
+
+
+def test_parallelism_across_workers():
+    # 8 concurrent 2ms requests on 2 workers x 3 compute cores: clearly
+    # faster than serializing on one worker's cores.
+    single = make_cluster(workers=1)
+    duo = make_cluster(workers=2)
+    for cluster in (single, duo):
+        processes = [cluster.invoke("echo_comp", {"data": b"x"}) for _ in range(12)]
+        cluster.env.run(until=cluster.env.all_of(processes))
+    assert duo.env.now < single.env.now
+
+
+def test_scale_out_replays_registrations():
+    cluster = make_cluster(workers=1)
+    new_worker = cluster.add_worker()
+    assert new_worker.registry.has_composition("echo_comp")
+    result = cluster.invoke_and_run("echo_comp", {"data": b"after-scale"})
+    assert result.ok
+    assert cluster.worker_count == 2
+
+
+def test_failed_invocation_propagates():
+    cluster = make_cluster()
+    result = cluster.invoke_and_run("echo_comp", {})  # missing input
+    assert not result.ok
+
+
+def test_stats_shape():
+    cluster = make_cluster()
+    cluster.invoke_and_run("echo_comp", {"data": b"x"})
+    stats = cluster.stats()
+    assert stats["workers"] == 2
+    assert stats["invocations_routed"] == 1
+    assert stats["total_committed_bytes"] == 0
+    assert stats["peak_committed_bytes"] > 0
+
+
+def test_workers_share_environment_and_network():
+    cluster = make_cluster(workers=3)
+    assert all(worker.env is cluster.env for worker in cluster.workers)
+    assert all(worker.network is cluster.network for worker in cluster.workers)

@@ -1,0 +1,100 @@
+"""Unit tests for the function/composition registry."""
+
+import pytest
+
+from repro.composition import (
+    ComputeNode,
+    Composition,
+    FunctionBinary,
+    InputBinding,
+    OutputBinding,
+    Registry,
+    RegistryError,
+)
+
+
+def noop(vfs):
+    return None
+
+
+def single_node_composition(name="c", function="f"):
+    node = ComputeNode("n", function, ("x",), ("y",))
+    return Composition(
+        name, [node], [], [InputBinding("x", "n", "x")], [OutputBinding("y", "n", "y")]
+    )
+
+
+def test_register_and_lookup_function():
+    registry = Registry()
+    binary = FunctionBinary("f", noop)
+    registry.register_function(binary)
+    assert registry.function("f") is binary
+    assert registry.has_function("f")
+    assert registry.function_names == ["f"]
+
+
+def test_duplicate_function_rejected():
+    registry = Registry()
+    registry.register_function(FunctionBinary("f", noop))
+    with pytest.raises(RegistryError, match="already registered"):
+        registry.register_function(FunctionBinary("f", noop))
+
+
+def test_unknown_function_lookup_rejected():
+    with pytest.raises(RegistryError, match="unknown function"):
+        Registry().function("ghost")
+
+
+def test_function_binary_validation():
+    with pytest.raises(RegistryError):
+        FunctionBinary("", noop)
+    with pytest.raises(RegistryError):
+        FunctionBinary("f", "not callable")
+    with pytest.raises(RegistryError):
+        FunctionBinary("f", noop, memory_limit=0)
+    with pytest.raises(RegistryError):
+        FunctionBinary("f", noop, binary_size=0)
+
+
+def test_modelled_compute_seconds_constant():
+    binary = FunctionBinary("f", noop, compute_cost=0.005)
+    assert binary.modelled_compute_seconds(123) == 0.005
+
+
+def test_modelled_compute_seconds_callable_of_input_size():
+    binary = FunctionBinary("f", noop, compute_cost=lambda n: n * 1e-9)
+    assert binary.modelled_compute_seconds(1000) == pytest.approx(1e-6)
+
+
+def test_modelled_compute_seconds_absent():
+    assert FunctionBinary("f", noop).modelled_compute_seconds(10) is None
+
+
+def test_register_composition_requires_functions():
+    registry = Registry()
+    with pytest.raises(RegistryError, match="unregistered"):
+        registry.register_composition(single_node_composition())
+
+
+def test_register_composition_success():
+    registry = Registry()
+    registry.register_function(FunctionBinary("f", noop))
+    composition = single_node_composition()
+    registry.register_composition(composition)
+    assert registry.composition("c") is composition
+    assert registry.has_composition("c")
+    assert registry.composition_names == ["c"]
+    assert registry.compositions == {"c": composition}
+
+
+def test_duplicate_composition_rejected():
+    registry = Registry()
+    registry.register_function(FunctionBinary("f", noop))
+    registry.register_composition(single_node_composition())
+    with pytest.raises(RegistryError, match="already registered"):
+        registry.register_composition(single_node_composition())
+
+
+def test_unknown_composition_lookup_rejected():
+    with pytest.raises(RegistryError, match="unknown composition"):
+        Registry().composition("ghost")

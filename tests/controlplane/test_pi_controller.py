@@ -1,0 +1,153 @@
+"""Tests for the PI controller and the core allocator."""
+
+import pytest
+
+from repro.controlplane import PiConfig, PiController
+from repro.backends import create_backend
+from repro.controlplane.allocator import CoreAllocator
+from repro.engines import CommunicationEngine, ComputeEngine, EngineGroup
+from repro.net import LatencyModel, SimulatedNetwork
+from repro.sim import Environment
+
+
+def test_balanced_growth_no_action():
+    controller = PiController()
+    assert controller.update(5, 5) == 0
+    assert controller.last_error == 0
+
+
+def test_compute_pressure_moves_core_to_compute():
+    controller = PiController()
+    assert controller.update(10, 0) == +1
+    assert controller.last_signal > 0
+
+
+def test_comm_pressure_moves_core_to_comm():
+    controller = PiController()
+    assert controller.update(0, 10) == -1
+
+
+def test_deadband_suppresses_small_errors():
+    controller = PiController(PiConfig(deadband=5.0, integral_gain=0.0))
+    assert controller.update(3, 0) == 0
+    assert controller.update(0, 3) == 0
+
+
+def test_integral_accumulates_persistent_small_error():
+    controller = PiController(PiConfig(proportional_gain=0.1, integral_gain=0.5, deadband=1.0))
+    decisions = [controller.update(1, 0) for _ in range(10)]
+    assert +1 in decisions  # small persistent error eventually acts
+
+
+def test_integral_clamped():
+    config = PiConfig(integral_limit=10.0, deadband=1e9)  # never act
+    controller = PiController(config)
+    for _ in range(100):
+        controller.update(1000, 0)
+    assert controller.integral <= 10.0
+
+
+def test_acting_bleeds_integral():
+    controller = PiController()
+    controller.update(10, 0)
+    after_first = controller.integral
+    assert after_first < 10.0
+
+
+def test_reset():
+    controller = PiController()
+    controller.update(10, 0)
+    controller.reset()
+    assert controller.integral == 0
+    assert controller.last_signal == 0
+
+
+def _make_groups(env, compute=2, comm=2):
+    backend = create_backend("kvm", "linux")
+    network = SimulatedNetwork(env, LatencyModel())
+    compute_group = EngineGroup(
+        env, "compute",
+        lambda queue, name: ComputeEngine(env, queue, backend, name=name),
+        initial_count=compute,
+    )
+    comm_group = EngineGroup(
+        env, "communication",
+        lambda queue, name: CommunicationEngine(env, queue, network, name=name),
+        initial_count=comm,
+    )
+    return compute_group, comm_group
+
+
+def _slow_task(env, group):
+    from repro.engines import Task
+    from repro.functions import compute_function
+
+    @compute_function(name=f"slow_{id(object())}", compute_cost=0.05)
+    def slow(vfs):
+        pass
+
+    task = Task(
+        kind="compute",
+        input_sets=[],
+        output_set_names=["out"],
+        completion=env.event(),
+        binary=slow,
+    )
+    group.submit(task)
+    return task
+
+
+def test_allocator_moves_core_under_compute_pressure():
+    env = Environment()
+    compute_group, comm_group = _make_groups(env, compute=1, comm=3)
+    allocator = CoreAllocator(env, compute_group, comm_group, epoch_seconds=0.01)
+
+    # Flood the single compute engine with 50ms tasks: its queue grows
+    # every epoch while the comm queue stays flat.
+    def pressure():
+        for _ in range(200):
+            _slow_task(env, compute_group)
+            yield env.timeout(0.002)
+
+    env.process(pressure())
+    env.run(until=0.5)
+    moves = [direction for _t, direction in allocator.reassignments]
+    assert "comm->compute" in moves
+    assert compute_group.engine_count > 1
+
+
+def test_allocator_respects_min_engines():
+    env = Environment()
+    compute_group, comm_group = _make_groups(env, compute=3, comm=1)
+    allocator = CoreAllocator(
+        env, compute_group, comm_group, epoch_seconds=0.01, min_engines=1
+    )
+
+    def pressure():
+        for _ in range(300):
+            _slow_task(env, compute_group)
+            yield env.timeout(0.0005)
+
+    env.process(pressure())
+    env.run(until=0.3)
+    assert comm_group.engine_count >= 1
+
+
+def test_allocator_disabled_does_nothing():
+    env = Environment()
+    compute_group, comm_group = _make_groups(env)
+    allocator = CoreAllocator(env, compute_group, comm_group, enabled=False)
+    env.run(until=1.0)
+    assert allocator.reassignments == []
+    assert compute_group.engine_count == 2
+    assert comm_group.engine_count == 2
+
+
+def test_allocation_history_recorded():
+    env = Environment()
+    compute_group, comm_group = _make_groups(env)
+    allocator = CoreAllocator(env, compute_group, comm_group, epoch_seconds=0.02)
+    env.run(until=0.1)
+    assert len(allocator.allocation_history) >= 4
+    times = [t for t, _c, _m in allocator.allocation_history]
+    assert times == sorted(times)

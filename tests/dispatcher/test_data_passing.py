@@ -1,0 +1,78 @@
+"""Tests for copy vs remap (zero-copy) data passing (§6.1)."""
+
+import pytest
+
+from repro.functions import compute_function, read_all_bytes, write_item
+from repro.worker import WorkerConfig, WorkerNode
+
+
+@compute_function(compute_cost=1e-4, memory_limit=64 << 20)
+def produce_large(vfs):
+    write_item(vfs, "payload", "blob", b"z" * 300_000)
+
+
+@compute_function(compute_cost=1e-4, memory_limit=64 << 20)
+def consume_large(vfs):
+    data = read_all_bytes(vfs, "payload")
+    write_item(vfs, "result", "size", str(len(data)).encode())
+
+
+PIPELINE = """
+composition big_pipe {
+    compute prod uses produce_large in(seed) out(payload);
+    compute cons uses consume_large in(payload) out(result);
+    input seed -> prod.seed;
+    prod.payload -> cons.payload;
+    output cons.result -> result;
+}
+"""
+
+
+def run_pipeline(data_passing):
+    worker = WorkerNode(
+        WorkerConfig(total_cores=4, control_plane_enabled=False, data_passing=data_passing)
+    )
+    worker.frontend.register_function(produce_large)
+    worker.frontend.register_function(consume_large)
+    worker.frontend.register_composition(PIPELINE)
+    result = worker.invoke_and_run("big_pipe", {"seed": b""})
+    assert result.ok
+    assert result.output("result").item("size").data == b"300000"
+    return worker, result
+
+
+def test_both_modes_produce_identical_results():
+    _w1, copy_result = run_pipeline("copy")
+    _w2, remap_result = run_pipeline("remap")
+    assert (
+        copy_result.output("result").item("size").data
+        == remap_result.output("result").item("size").data
+    )
+
+
+def test_remap_is_faster_for_large_payloads():
+    _w1, copy_result = run_pipeline("copy")
+    _w2, remap_result = run_pipeline("remap")
+    # The consumer skips the per-byte input copy into its sandbox.
+    assert remap_result.latency < copy_result.latency
+
+
+def test_remap_commits_less_memory():
+    copy_worker, _r1 = run_pipeline("copy")
+    remap_worker, _r2 = run_pipeline("remap")
+    # Copy mode duplicates the 300 kB payload into the consumer's
+    # context while the producer's context still holds it.
+    assert remap_worker.memory.peak_bytes < copy_worker.memory.peak_bytes
+
+
+def test_invalid_mode_rejected():
+    from repro.composition import Registry
+    from repro.dispatcher import Dispatcher
+    from repro.sim import Environment
+
+    with pytest.raises(ValueError, match="data_passing"):
+        worker = WorkerNode(WorkerConfig(total_cores=4))
+        Dispatcher(
+            worker.env, Registry(), worker.compute_group, worker.comm_group,
+            data_passing="teleport",
+        )

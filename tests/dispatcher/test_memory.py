@@ -1,0 +1,93 @@
+"""Tests for committed-memory accounting."""
+
+from repro.data import MemoryContext, PAGE_SIZE
+from repro.dispatcher import MemoryTracker
+from repro.sim import Environment
+
+
+def test_tracker_starts_at_zero():
+    tracker = MemoryTracker(Environment())
+    assert tracker.current_bytes == 0
+    assert tracker.peak_bytes == 0
+    assert tracker.live_context_count == 0
+
+
+def test_observe_counts_committed_pages():
+    env = Environment()
+    tracker = MemoryTracker(env)
+    context = MemoryContext(10 * PAGE_SIZE)
+    context.write(0, b"data")
+    tracker.observe(context)
+    assert tracker.current_bytes == PAGE_SIZE
+    assert tracker.live_context_count == 1
+
+
+def test_observe_updates_incrementally():
+    env = Environment()
+    tracker = MemoryTracker(env)
+    context = MemoryContext(10 * PAGE_SIZE)
+    context.write(0, b"x")
+    tracker.observe(context)
+    context.write(3 * PAGE_SIZE, b"y")
+    tracker.observe(context)
+    assert tracker.current_bytes == 4 * PAGE_SIZE
+
+
+def test_observe_same_size_no_new_sample():
+    env = Environment()
+    tracker = MemoryTracker(env)
+    context = MemoryContext(PAGE_SIZE)
+    context.write(0, b"x")
+    tracker.observe(context)
+    samples_before = len(tracker.series)
+    tracker.observe(context)
+    assert len(tracker.series) == samples_before
+
+
+def test_release_drops_contribution():
+    env = Environment()
+    tracker = MemoryTracker(env)
+    context = MemoryContext(PAGE_SIZE)
+    context.write(0, b"x")
+    tracker.observe(context)
+    tracker.release(context)
+    assert tracker.current_bytes == 0
+    assert tracker.live_context_count == 0
+    assert tracker.peak_bytes == PAGE_SIZE
+
+
+def test_release_untracked_is_noop():
+    env = Environment()
+    tracker = MemoryTracker(env)
+    tracker.release(MemoryContext(PAGE_SIZE))
+    assert tracker.current_bytes == 0
+
+
+def test_average_committed_time_weighted():
+    env = Environment()
+    tracker = MemoryTracker(env)
+    context = MemoryContext(PAGE_SIZE)
+
+    def scenario():
+        yield env.timeout(10)   # 10s at 0 bytes
+        context.write(0, b"x")
+        tracker.observe(context)
+        yield env.timeout(10)   # 10s at PAGE_SIZE
+        tracker.release(context)
+        yield env.timeout(0)
+
+    env.process(scenario())
+    env.run()
+    average = tracker.average_committed(0, 20)
+    assert average == PAGE_SIZE / 2
+
+
+def test_multiple_contexts_sum():
+    env = Environment()
+    tracker = MemoryTracker(env)
+    contexts = [MemoryContext(PAGE_SIZE) for _ in range(3)]
+    for context in contexts:
+        context.write(0, b"x")
+        tracker.observe(context)
+    assert tracker.current_bytes == 3 * PAGE_SIZE
+    assert tracker.peak_bytes == 3 * PAGE_SIZE

@@ -1,0 +1,132 @@
+"""Tests for compute engines: run-to-completion, failures, retirement."""
+
+import pytest
+
+from repro.backends import create_backend
+from repro.engines import SHUTDOWN, ComputeEngine, Task
+from repro.functions import compute_function
+from repro.data import DataItem, DataSet
+from repro.sim import Environment, Rng, Store
+
+
+@compute_function(compute_cost=0.01)
+def work(vfs):
+    vfs.write_text("/out/out/r", "done")
+
+
+@compute_function()
+def buggy(vfs):
+    raise ValueError("user bug")
+
+
+def make_engine(env, queue, **kwargs):
+    return ComputeEngine(env, queue, create_backend("kvm", "linux"), **kwargs)
+
+
+def submit(env, queue, binary, inputs=None):
+    task = Task(
+        kind="compute",
+        input_sets=inputs or [],
+        output_set_names=["out"],
+        completion=env.event(),
+        binary=binary,
+    )
+    queue.put(task)
+    return task
+
+
+def test_engine_executes_task_and_charges_time():
+    env = Environment()
+    queue = Store(env)
+    engine = make_engine(env, queue)
+    task = submit(env, queue, work)
+    outcome = env.run(until=task.completion)
+    assert outcome.success
+    assert outcome.outputs[0].item("r").data == b"done"
+    assert env.now >= 0.01  # compute cost charged as virtual time
+    assert engine.tasks_executed == 1
+    assert engine.busy_seconds >= 0.01
+
+
+def test_run_to_completion_serializes_tasks():
+    env = Environment()
+    queue = Store(env)
+    make_engine(env, queue)
+    first = submit(env, queue, work)
+    second = submit(env, queue, work)
+    env.run(until=second.completion)
+    # One engine, two 10ms tasks: strictly sequential.
+    assert env.now >= 0.02
+
+
+def test_two_engines_parallelize():
+    env = Environment()
+    queue = Store(env)
+    make_engine(env, queue)
+    make_engine(env, queue)
+    tasks = [submit(env, queue, work) for _ in range(2)]
+    env.run(until=env.all_of([t.completion for t in tasks]))
+    assert env.now < 0.015  # ran in parallel
+
+
+def test_user_failure_reported_not_raised():
+    env = Environment()
+    queue = Store(env)
+    make_engine(env, queue)
+    task = submit(env, queue, buggy)
+    outcome = env.run(until=task.completion)
+    assert not outcome.success
+    assert not outcome.transient
+    assert "user bug" in str(outcome.error)
+
+
+def test_transient_fault_injection():
+    env = Environment()
+    queue = Store(env)
+    ComputeEngine(
+        env,
+        queue,
+        create_backend("kvm", "linux"),
+        failure_rng=Rng(7),
+        transient_failure_rate=1.0,
+    )
+    task = submit(env, queue, work)
+    outcome = env.run(until=task.completion)
+    assert not outcome.success
+    assert outcome.transient
+
+
+def test_shutdown_sentinel_stops_engine():
+    env = Environment()
+    queue = Store(env)
+    engine = make_engine(env, queue)
+    task = submit(env, queue, work)
+    queue.put(SHUTDOWN)
+    env.run(until=engine.stopped)
+    # The task ahead of the sentinel was completed first.
+    assert task.completion.triggered
+    assert engine.tasks_executed == 1
+
+
+def test_task_requires_binary():
+    env = Environment()
+    with pytest.raises(ValueError, match="binary"):
+        Task(kind="compute", input_sets=[], output_set_names=[], completion=env.event())
+
+
+def test_task_rejects_unknown_kind():
+    env = Environment()
+    with pytest.raises(ValueError, match="kind"):
+        Task(kind="gpu", input_sets=[], output_set_names=[], completion=env.event())
+
+
+def test_task_input_bytes():
+    env = Environment()
+    task = Task(
+        kind="compute",
+        input_sets=[DataSet("a", [DataItem("x", b"1234")])],
+        output_set_names=[],
+        completion=env.event(),
+        binary=work,
+    )
+    assert task.input_bytes == 4

@@ -1,0 +1,123 @@
+"""Tests for engine groups: grow/shrink semantics and accounting."""
+
+import pytest
+
+from repro.backends import create_backend
+from repro.engines import ComputeEngine, EngineGroup, Task
+from repro.functions import compute_function
+from repro.sim import Environment
+
+
+@compute_function(compute_cost=0.01)
+def slow(vfs):
+    vfs.write_text("/out/out/r", "x")
+
+
+def make_group(env, initial=1):
+    backend = create_backend("kvm", "linux")
+    return EngineGroup(
+        env,
+        kind="compute",
+        engine_factory=lambda queue, name: ComputeEngine(env, queue, backend, name=name),
+        initial_count=initial,
+    )
+
+
+def submit(env, group, binary=slow):
+    task = Task(
+        kind="compute",
+        input_sets=[],
+        output_set_names=["out"],
+        completion=env.event(),
+        binary=binary,
+    )
+    group.submit(task)
+    return task
+
+
+def test_initial_engine_count():
+    env = Environment()
+    group = make_group(env, initial=3)
+    assert group.engine_count == 3
+    assert len(group.engines) == 3
+
+
+def test_grow_adds_capacity():
+    env = Environment()
+    group = make_group(env, initial=1)
+    group.grow()
+    tasks = [submit(env, group) for _ in range(2)]
+    env.run(until=env.all_of([t.completion for t in tasks]))
+    assert env.now < 0.015  # both ran in parallel
+    assert group.engine_count == 2
+
+
+def test_shrink_retires_exactly_one_engine():
+    env = Environment()
+    group = make_group(env, initial=2)
+    done = group.shrink()
+    env.run(until=done)
+    assert group.engine_count == 1
+    assert len(group.engines) == 1
+
+
+def test_shrink_drains_queued_tasks_first():
+    env = Environment()
+    group = make_group(env, initial=1)
+    task = submit(env, group)
+    done = group.shrink()
+    env.run(until=done)
+    assert task.completion.triggered  # task ahead of sentinel completed
+    assert group.engine_count == 0
+
+
+def test_shrink_below_zero_rejected():
+    env = Environment()
+    group = make_group(env, initial=1)
+    done = group.shrink()
+    env.run(until=done)
+    with pytest.raises(ValueError):
+        group.shrink()
+
+
+def test_tasks_executed_survives_retirement():
+    env = Environment()
+    group = make_group(env, initial=1)
+    task = submit(env, group)
+    env.run(until=task.completion)
+    done = group.shrink()
+    env.run(until=done)
+    assert group.tasks_executed == 1
+    assert group.busy_seconds >= 0.01
+
+
+def test_enqueued_timestamp_recorded():
+    env = Environment()
+    group = make_group(env, initial=1)
+
+    def later():
+        yield env.timeout(5.0)
+        return submit(env, group)
+
+    process = env.process(later())
+    task = env.run(until=process)
+    assert task.enqueued_at == 5.0
+
+
+def test_queue_sampling():
+    env = Environment()
+    group = make_group(env, initial=1)
+    assert group.sample_queue() == 0
+    assert group.queue_samples == [(0.0, 0)]
+
+
+def test_grow_after_shrink_recovers():
+    env = Environment()
+    group = make_group(env, initial=1)
+    done = group.shrink()
+    env.run(until=done)
+    group.grow()
+    task = submit(env, group)
+    outcome = env.run(until=task.completion)
+    assert outcome.success
+    assert group.engine_count == 1

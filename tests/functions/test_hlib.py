@@ -1,0 +1,148 @@
+"""Tests for the hlib utility library (the hlibc analogue)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions import hlib
+from repro.functions.hlib import (
+    HLIB_NAMESPACE,
+    b64decode,
+    b64encode,
+    crc32,
+    deflate,
+    format_csv,
+    format_table,
+    inflate,
+    json_dumps,
+    json_loads,
+    mean,
+    median,
+    pack,
+    parse_csv,
+    parse_query_string,
+    unpack,
+    variance,
+)
+
+
+def test_json_roundtrip():
+    value = {"b": [1, 2], "a": {"nested": True}}
+    assert json_loads(json_dumps(value)) == value
+
+
+def test_json_loads_accepts_bytes():
+    assert json_loads(b'{"x": 1}') == {"x": 1}
+
+
+def test_json_dumps_deterministic():
+    assert json_dumps({"b": 1, "a": 2}) == '{"a": 2, "b": 1}'
+
+
+def test_base64_roundtrip():
+    data = bytes(range(256))
+    assert b64decode(b64encode(data)) == data
+
+
+def test_crc32_stable():
+    assert crc32(b"hello") == 0x3610A686
+
+
+def test_deflate_inflate_roundtrip():
+    data = b"compress me " * 100
+    squeezed = deflate(data)
+    assert len(squeezed) < len(data)
+    assert inflate(squeezed) == data
+
+
+def test_pack_unpack():
+    blob = pack("<IHd", 7, 42, 2.5)
+    assert unpack("<IHd", blob) == (7, 42, 2.5)
+
+
+def test_parse_csv_basic():
+    rows = parse_csv("a,b,c\n1,2,3")
+    assert rows == [["a", "b", "c"], ["1", "2", "3"]]
+
+
+def test_parse_csv_quoted_fields():
+    rows = parse_csv('name,notes\n"Smith, Jo","said ""hi"""')
+    assert rows[1] == ["Smith, Jo", 'said "hi"']
+
+
+def test_format_csv_quotes_when_needed():
+    text = format_csv([["a,b", 'say "x"'], ["plain", 7]])
+    assert text.splitlines()[0] == '"a,b","say ""x"""'
+    assert text.splitlines()[1] == "plain,7"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.lists(
+        st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=10),
+        min_size=2, max_size=4,
+    ).filter(lambda row: any(row)),
+    min_size=1, max_size=5,
+))
+def test_property_csv_roundtrip(rows):
+    # Rows with at least one non-empty field roundtrip exactly
+    # (a fully empty row renders as an empty line, which parsing skips).
+    width = max(len(row) for row in rows)
+    rows = [row + [""] * (width - len(row)) for row in rows]
+    assert parse_csv(format_csv(rows)) == rows
+
+
+def test_parse_query_string():
+    assert parse_query_string("?a=1&b=two+words&c=%2Fpath") == {
+        "a": "1", "b": "two words", "c": "/path",
+    }
+    assert parse_query_string("") == {}
+
+
+def test_format_table_aligns():
+    text = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert len(lines) == 3
+    assert lines[1].index("1") == lines[2].index("2")
+
+
+def test_statistics():
+    assert mean([1, 2, 3]) == 2
+    assert median([5, 1, 3]) == 3
+    assert median([1, 2, 3, 4]) == 2.5
+    assert variance([2, 2, 2]) == 0
+    with pytest.raises(ValueError):
+        mean([])
+    with pytest.raises(ValueError):
+        median([])
+    with pytest.raises(ValueError):
+        variance([])
+
+
+def test_namespace_facade():
+    assert HLIB_NAMESPACE.json_dumps({"x": 1}) == '{"x": 1}'
+    assert HLIB_NAMESPACE.sqrt(9) == 3
+    assert "hlib" in repr(HLIB_NAMESPACE)
+
+
+def test_hlib_available_in_sourced_functions():
+    from repro.functions import python_function_from_source, run_compute_function
+
+    source = """
+def main(vfs):
+    rows = hlib.parse_csv(vfs.read_text("/in/data/table"))
+    numbers = [int(row[1]) for row in rows]
+    summary = hlib.json_dumps({"mean": hlib.mean(numbers), "crc": hlib.crc32(b"x")})
+    vfs.write_text("/out/result/summary", summary)
+"""
+    from repro.data import DataItem, DataSet
+
+    binary = python_function_from_source("csv_stats", source)
+    result = run_compute_function(
+        binary,
+        [DataSet("data", [DataItem("table", b"a,1\nb,3")])],
+        ["result"],
+    )
+    summary = json_loads(result.outputs[0].item("summary").data)
+    assert summary["mean"] == 2.0

@@ -1,0 +1,107 @@
+"""Tests for registering compute functions from Python source text."""
+
+import pytest
+
+from repro.errors import FunctionFailure
+from repro.functions import (
+    SourceError,
+    python_function_from_source,
+    run_compute_function,
+)
+from repro.data import DataItem, DataSet
+from repro.worker import WorkerConfig, WorkerNode
+
+DOUBLE_SOURCE = """
+def main(vfs):
+    value = int(vfs.read_text("/in/data/data"))
+    vfs.write_text("/out/result/value", str(value * 2))
+"""
+
+
+def test_source_function_executes():
+    binary = python_function_from_source("double", DOUBLE_SOURCE)
+    result = run_compute_function(
+        binary, [DataSet("data", [DataItem("data", b"21")])], ["result"]
+    )
+    assert result.outputs[0].item("value").data == b"42"
+
+
+def test_binary_size_reflects_interpreter():
+    binary = python_function_from_source("double", DOUBLE_SOURCE)
+    assert binary.binary_size > 4 * 1024 * 1024
+    assert binary.language == "python-source"
+
+
+def test_syntax_error_rejected():
+    with pytest.raises(SourceError, match="failed to compile"):
+        python_function_from_source("bad", "def main(vfs:\n  pass")
+
+
+def test_missing_entry_point_rejected():
+    with pytest.raises(SourceError, match="does not define"):
+        python_function_from_source("noentry", "x = 1")
+    with pytest.raises(SourceError, match="does not define"):
+        python_function_from_source("notcallable", "main = 42")
+
+
+def test_custom_entry_point():
+    binary = python_function_from_source(
+        "custom", "def handler(vfs):\n    vfs.write_text('/out/o/x', 'ok')",
+        entry_point="handler",
+    )
+    result = run_compute_function(binary, [], ["o"])
+    assert result.outputs[0].item("x").data == b"ok"
+
+
+def test_import_blocked_in_source_namespace():
+    source = """
+def main(vfs):
+    import os
+    os.system("true")
+"""
+    binary = python_function_from_source("importer", source)
+    with pytest.raises(FunctionFailure):
+        run_compute_function(binary, [], ["o"])
+
+
+def test_open_unavailable_in_source_namespace():
+    source = """
+def main(vfs):
+    open("/etc/passwd")
+"""
+    binary = python_function_from_source("opener", source)
+    with pytest.raises(FunctionFailure):
+        run_compute_function(binary, [], ["o"])
+
+
+def test_module_level_failure_surfaces_at_registration():
+    with pytest.raises(SourceError, match="import time"):
+        python_function_from_source("boom", "raise ValueError('at import')\ndef main(vfs): pass")
+
+
+def test_safe_builtins_available():
+    source = """
+def main(vfs):
+    values = sorted([3, 1, 2])
+    vfs.write_text("/out/o/r", str(sum(values)) + "," + str(max(values)))
+"""
+    binary = python_function_from_source("mathy", source)
+    result = run_compute_function(binary, [], ["o"])
+    assert result.outputs[0].item("r").data == b"6,3"
+
+
+def test_source_function_in_full_worker():
+    worker = WorkerNode(WorkerConfig(total_cores=4, control_plane_enabled=False))
+    worker.frontend.register_function(
+        python_function_from_source("double", DOUBLE_SOURCE, compute_cost=1e-4)
+    )
+    worker.frontend.register_composition("""
+        composition doubled {
+            compute d uses double in(data) out(result);
+            input data -> d.data;
+            output d.result -> result;
+        }
+    """)
+    result = worker.invoke_and_run("doubled", {"data": b"8"})
+    assert result.ok
+    assert result.output("result").item("value").data == b"16"

@@ -1,0 +1,98 @@
+"""Unit tests for the compute-function purity guard."""
+
+import builtins
+import os
+import socket
+import subprocess
+
+import pytest
+
+from repro.errors import SyscallBlocked
+from repro.functions import purity_guard
+
+
+def test_open_blocked_inside_guard():
+    with purity_guard():
+        with pytest.raises(SyscallBlocked):
+            open("/etc/hostname")
+
+
+def test_open_restored_after_guard():
+    original = builtins.open
+    with purity_guard():
+        pass
+    assert builtins.open is original
+    # And it actually works again.
+    with open(os.devnull, "rb") as handle:
+        assert handle.read(0) == b""
+
+
+def test_socket_blocked():
+    with purity_guard():
+        with pytest.raises(SyscallBlocked):
+            socket.socket()
+        with pytest.raises(SyscallBlocked):
+            socket.create_connection(("localhost", 80))
+
+
+def test_subprocess_blocked():
+    with purity_guard():
+        with pytest.raises(SyscallBlocked):
+            subprocess.run(["true"])
+        with pytest.raises(SyscallBlocked):
+            subprocess.Popen(["true"])
+
+
+def test_os_system_blocked():
+    with purity_guard():
+        with pytest.raises(SyscallBlocked):
+            os.system("true")
+
+
+def test_os_file_mutation_blocked():
+    with purity_guard():
+        with pytest.raises(SyscallBlocked):
+            os.remove("/tmp/nonexistent")
+        with pytest.raises(SyscallBlocked):
+            os.mkdir("/tmp/should_not_exist")
+
+
+def test_thread_start_blocked():
+    import threading
+
+    with purity_guard():
+        thread = threading.Thread(target=lambda: None)
+        with pytest.raises(SyscallBlocked):
+            thread.start()
+
+
+def test_restored_after_exception():
+    original = builtins.open
+    with pytest.raises(ValueError):
+        with purity_guard():
+            raise ValueError("user code failed")
+    assert builtins.open is original
+
+
+def test_nested_guards_restore_once():
+    original = builtins.open
+    with purity_guard():
+        with purity_guard():
+            with pytest.raises(SyscallBlocked):
+                open("x")
+        # Still blocked: inner exit must not restore early.
+        with pytest.raises(SyscallBlocked):
+            open("x")
+    assert builtins.open is original
+
+
+def test_error_message_mentions_alternative():
+    with purity_guard():
+        with pytest.raises(SyscallBlocked, match="virtual filesystem"):
+            open("x")
+
+
+def test_pure_computation_unaffected():
+    with purity_guard():
+        assert sum(range(100)) == 4950
+        assert [x * x for x in range(5)] == [0, 1, 4, 9, 16]

@@ -1,0 +1,335 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3.5)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 3.5
+    assert env.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        return "done"
+
+    p = env.process(proc())
+    assert env.run(until=p) == "done"
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    marks = []
+
+    def proc():
+        for _ in range(4):
+            yield env.timeout(0.25)
+            marks.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert marks == [0.25, 0.5, 0.75, 1.0]
+
+
+def test_two_processes_interleave():
+    env = Environment()
+    order = []
+
+    def fast():
+        yield env.timeout(1)
+        order.append("fast")
+
+    def slow():
+        yield env.timeout(2)
+        order.append("slow")
+
+    env.process(slow())
+    env.process(fast())
+    env.run()
+    assert order == ["fast", "slow"]
+
+
+def test_same_time_events_fifo():
+    env = Environment()
+    order = []
+
+    def make(tag):
+        def proc():
+            yield env.timeout(1)
+            order.append(tag)
+        return proc
+
+    for tag in range(5):
+        env.process(make(tag)())
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_wait_on_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2)
+        return 42
+
+    def parent():
+        result = yield env.process(child())
+        return result + 1
+
+    p = env.process(parent())
+    assert env.run(until=p) == 43
+
+
+def test_wait_on_already_finished_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        return "x"
+
+    def parent(proc):
+        yield env.timeout(10)
+        result = yield proc
+        return result
+
+    child_proc = env.process(child())
+    parent_proc = env.process(parent(child_proc))
+    assert env.run(until=parent_proc) == "x"
+    assert env.now == 10
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    gate = env.event()
+
+    def opener():
+        yield env.timeout(5)
+        gate.succeed("open")
+
+    def waiter():
+        value = yield gate
+        return (env.now, value)
+
+    env.process(opener())
+    p = env.process(waiter())
+    assert env.run(until=p) == (5, "open")
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_event_fail_propagates_into_waiter():
+    env = Environment()
+    evt = env.event()
+
+    def failer():
+        yield env.timeout(1)
+        evt.fail(RuntimeError("boom"))
+
+    def waiter():
+        try:
+            yield evt
+        except RuntimeError as exc:
+            return str(exc)
+        return "no error"
+
+    env.process(failer())
+    p = env.process(waiter())
+    assert env.run(until=p) == "boom"
+
+
+def test_unhandled_process_exception_surfaces():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise ValueError("unhandled")
+
+    env.process(proc())
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(1)
+
+    env.process(proc())
+    env.run(until=10.5)
+    assert env.now == 10.5
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=100)
+    with pytest.raises(SimulationError):
+        env.run(until=50)
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def proc():
+        yield 5  # not an event
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_all_of_waits_for_everything():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(3, value="b")
+        results = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(results.values()))
+
+    p = env.process(proc())
+    assert env.run(until=p) == (3, ["a", "b"])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(3, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        return (env.now, list(results.values()))
+
+    p = env.process(proc())
+    assert env.run(until=p) == (1, ["fast"])
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc():
+        results = yield env.all_of([])
+        return results
+
+    p = env.process(proc())
+    assert env.run(until=p) == {}
+
+
+def test_interrupt_wakes_blocked_process():
+    env = Environment()
+
+    def victim():
+        try:
+            yield env.timeout(100)
+            return "finished"
+        except Interrupt as interrupt:
+            return ("interrupted", env.now, interrupt.cause)
+
+    def attacker(target):
+        yield env.timeout(2)
+        target.interrupt(cause="preempted")
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    assert env.run(until=v) == ("interrupted", 2, "preempted")
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_active_process_visible_inside():
+    env = Environment()
+    seen = []
+
+    def proc():
+        seen.append(env.active_process)
+        yield env.timeout(1)
+
+    p = env.process(proc())
+    env.run()
+    assert seen == [p]
+    assert env.active_process is None
+
+
+def test_run_until_event_exhaustion_error():
+    env = Environment()
+    never = env.event()
+
+    def proc():
+        yield env.timeout(1)
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run(until=never)
+
+
+def test_nested_process_chain():
+    env = Environment()
+
+    def level(depth):
+        if depth == 0:
+            yield env.timeout(1)
+            return 1
+        below = yield env.process(level(depth - 1))
+        return below + 1
+
+    p = env.process(level(10))
+    assert env.run(until=p) == 11
+    assert env.now == 1

@@ -1,0 +1,108 @@
+"""Tests for the processor-sharing CPU model."""
+
+import pytest
+
+from repro.sim import Environment, ProcessorSharingCpu
+
+
+def run_jobs(cores, durations, switch_overhead=0.0, stagger=0.0):
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores, switch_overhead_seconds=switch_overhead)
+    finishes = {}
+
+    def job(tag, seconds, delay):
+        if delay:
+            yield env.timeout(delay)
+        yield cpu.consume(seconds)
+        finishes[tag] = env.now
+
+    for index, seconds in enumerate(durations):
+        env.process(job(index, seconds, stagger * index))
+    env.run()
+    return env, cpu, finishes
+
+
+def test_single_job_runs_at_full_rate():
+    _env, _cpu, finishes = run_jobs(cores=1, durations=[2.0])
+    assert finishes[0] == pytest.approx(2.0)
+
+
+def test_underloaded_jobs_run_in_parallel():
+    _env, _cpu, finishes = run_jobs(cores=4, durations=[1.0, 1.0, 1.0])
+    assert all(t == pytest.approx(1.0) for t in finishes.values())
+
+
+def test_oversubscribed_jobs_share_fairly():
+    # 3 equal jobs on 2 cores: rate 2/3 each, finish at 1.5.
+    _env, _cpu, finishes = run_jobs(cores=2, durations=[1.0, 1.0, 1.0])
+    assert all(t == pytest.approx(1.5) for t in finishes.values())
+
+
+def test_unequal_jobs_short_finishes_first():
+    env, _cpu, finishes = run_jobs(cores=1, durations=[1.0, 3.0])
+    assert finishes[0] < finishes[1]
+    # Total work 4s on one core: last finish at 4.
+    assert finishes[1] == pytest.approx(4.0)
+
+
+def test_late_arrival_slows_running_job():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=1)
+    finishes = {}
+
+    def job(tag, seconds, delay):
+        yield env.timeout(delay)
+        yield cpu.consume(seconds)
+        finishes[tag] = env.now
+
+    env.process(job("first", 2.0, 0.0))
+    env.process(job("second", 1.0, 1.0))
+    env.run()
+    # First runs alone for 1s (1s left), then shares: both need 2 more
+    # wall seconds for their remaining 1s each → first at 3, second at 3.
+    assert finishes["first"] == pytest.approx(3.0)
+    assert finishes["second"] == pytest.approx(3.0)
+
+
+def test_zero_work_completes_immediately():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=1)
+    event = cpu.consume(0.0)
+    assert event.triggered
+
+
+def test_negative_work_rejected():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=1)
+    with pytest.raises(ValueError):
+        cpu.consume(-1.0)
+
+
+def test_invalid_cores_rejected():
+    with pytest.raises(ValueError):
+        ProcessorSharingCpu(Environment(), cores=0)
+
+
+def test_switch_overhead_penalizes_oversubscription():
+    _env1, _cpu1, no_overhead = run_jobs(2, [1.0] * 4, switch_overhead=0.0)
+    _env2, _cpu2, with_overhead = run_jobs(2, [1.0] * 4, switch_overhead=0.05)
+    assert max(with_overhead.values()) > max(no_overhead.values())
+
+
+def test_switch_overhead_free_when_underloaded():
+    _env, _cpu, finishes = run_jobs(4, [1.0, 1.0], switch_overhead=0.05)
+    assert all(t == pytest.approx(1.0) for t in finishes.values())
+
+
+def test_busy_accounting():
+    env, cpu, _f = run_jobs(2, [1.0, 1.0, 1.0])
+    assert cpu.jobs_completed == 3
+    assert cpu.busy_core_seconds == pytest.approx(3.0)
+    assert cpu.active_jobs == 0
+
+
+def test_conservation_of_work():
+    # Whatever the arrival pattern, total busy core-seconds equals the
+    # submitted work (no overhead configured).
+    env, cpu, finishes = run_jobs(3, [0.5, 1.5, 2.5, 0.25], stagger=0.3)
+    assert cpu.busy_core_seconds == pytest.approx(0.5 + 1.5 + 2.5 + 0.25, rel=1e-6)

@@ -1,0 +1,151 @@
+"""Unit tests for metrics (percentiles, time series, counters)."""
+
+import pytest
+
+from repro.sim import Counter, LatencyRecorder, TimeSeries, percentile, relative_variance
+
+
+def test_percentile_single_sample():
+    assert percentile([5.0], 99) == 5.0
+
+
+def test_percentile_extremes():
+    samples = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(samples, 0) == 1.0
+    assert percentile(samples, 100) == 4.0
+
+
+def test_percentile_interpolates():
+    samples = [0.0, 10.0]
+    assert percentile(samples, 50) == 5.0
+    assert percentile(samples, 25) == 2.5
+
+
+def test_percentile_empty_rejected():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_relative_variance_constant_is_zero():
+    assert relative_variance([3.0, 3.0, 3.0]) == 0.0
+
+
+def test_relative_variance_matches_manual():
+    # mean 2, variance ((1)^2+(1)^2)/2 = 1, relvar = 1/4 = 25%
+    assert relative_variance([1.0, 3.0]) == pytest.approx(25.0)
+
+
+def test_latency_recorder_summary():
+    recorder = LatencyRecorder("test")
+    recorder.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert recorder.count == 5
+    assert recorder.mean == 3.0
+    assert recorder.median == 3.0
+    assert recorder.minimum == 1.0
+    assert recorder.maximum == 5.0
+    summary = recorder.summary()
+    assert summary["count"] == 5
+    assert summary["p50"] == 3.0
+
+
+def test_latency_recorder_rejects_negative():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.record(-0.1)
+
+
+def test_latency_recorder_empty_stats_raise():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        _ = recorder.mean
+    assert recorder.summary() == {"name": "", "count": 0}
+
+
+def test_latency_recorder_keeps_sorted_under_unordered_input():
+    recorder = LatencyRecorder()
+    recorder.extend([5.0, 1.0, 3.0])
+    assert recorder.minimum == 1.0
+    assert recorder.maximum == 5.0
+    assert recorder.median == 3.0
+
+
+def test_timeseries_value_at():
+    series = TimeSeries()
+    series.record(0, 10)
+    series.record(5, 20)
+    assert series.value_at(0) == 10
+    assert series.value_at(4.9) == 10
+    assert series.value_at(5) == 20
+    assert series.value_at(100) == 20
+
+
+def test_timeseries_value_before_first_rejected():
+    series = TimeSeries()
+    series.record(5, 1)
+    with pytest.raises(ValueError):
+        series.value_at(4)
+
+
+def test_timeseries_non_monotonic_rejected():
+    series = TimeSeries()
+    series.record(5, 1)
+    with pytest.raises(ValueError):
+        series.record(4, 2)
+
+
+def test_timeseries_time_weighted_mean():
+    series = TimeSeries()
+    series.record(0, 0)
+    series.record(10, 100)
+    # signal is 0 over [0,10) and 100 over [10,20]: mean over [0,20] = 50
+    assert series.time_weighted_mean(0, 20) == pytest.approx(50.0)
+
+
+def test_timeseries_time_weighted_mean_partial_window():
+    series = TimeSeries()
+    series.record(0, 4)
+    series.record(2, 8)
+    # over [1,3]: one second at 4, one second at 8 -> 6
+    assert series.time_weighted_mean(1, 3) == pytest.approx(6.0)
+
+
+def test_timeseries_mean_zero_width_window():
+    series = TimeSeries()
+    series.record(0, 7)
+    assert series.time_weighted_mean(0, 0) == 7
+
+
+def test_timeseries_maximum():
+    series = TimeSeries()
+    series.record(0, 1)
+    series.record(1, 9)
+    series.record(2, 3)
+    assert series.maximum() == 9
+
+
+def test_timeseries_resample_grid():
+    series = TimeSeries()
+    series.record(0, 1)
+    series.record(1, 2)
+    points = series.resample(step=0.5, start=0, end=1)
+    assert points == [(0, 1), (0.5, 1), (1.0, 2)]
+
+
+def test_counter_basics():
+    counter = Counter()
+    counter.increment("cold_starts")
+    counter.increment("cold_starts", 2)
+    assert counter.get("cold_starts") == 3
+    assert counter.get("missing") == 0
+    assert counter.as_dict() == {"cold_starts": 3}
+
+
+def test_counter_rejects_negative():
+    counter = Counter()
+    with pytest.raises(ValueError):
+        counter.increment("x", -1)

@@ -1,0 +1,295 @@
+"""Unit tests for Resource, Store and PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, PriorityStore, Resource, SimulationError, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    grant_times = []
+
+    def worker(tag):
+        request = resource.request()
+        yield request
+        grant_times.append((tag, env.now))
+        yield env.timeout(10)
+        resource.release(request)
+
+    for tag in range(4):
+        env.process(worker(tag))
+    env.run()
+    assert grant_times == [(0, 0), (1, 0), (2, 10), (3, 10)]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def worker(tag, arrival):
+        yield env.timeout(arrival)
+        request = resource.request()
+        yield request
+        order.append(tag)
+        yield env.timeout(5)
+        resource.release(request)
+
+    env.process(worker("late", 2))
+    env.process(worker("early", 1))
+    env.run()
+    assert order == ["early", "late"]
+
+
+def test_resource_count_and_queue_length():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def holder():
+        request = resource.request()
+        yield request
+        yield env.timeout(5)
+        resource.release(request)
+
+    def waiter():
+        yield env.timeout(1)
+        request = resource.request()
+        assert resource.queue_length == 1
+        yield request
+        resource.release(request)
+
+    env.process(holder())
+    env.process(waiter())
+    env.run(until=2)
+    assert resource.count == 1
+    env.run()
+    assert resource.count == 0
+    assert resource.queue_length == 0
+
+
+def test_resource_release_unknown_request_rejected():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    request = resource.request()
+    env.run()
+    resource.release(request)
+    with pytest.raises(SimulationError):
+        resource.release(request)
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_resize_grows_grants_waiters():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    grants = []
+
+    def worker(tag):
+        request = resource.request()
+        yield request
+        grants.append((tag, env.now))
+        yield env.timeout(100)
+        resource.release(request)
+
+    def grower():
+        yield env.timeout(3)
+        resource.resize(2)
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.process(grower())
+    env.run(until=50)
+    assert grants == [("a", 0), ("b", 3)]
+
+
+def test_resource_resize_shrink_does_not_preempt():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+
+    def worker():
+        request = resource.request()
+        yield request
+        yield env.timeout(10)
+        resource.release(request)
+
+    env.process(worker())
+    env.process(worker())
+    env.run(until=1)
+    resource.resize(1)
+    assert resource.count == 2  # both holders keep their slots
+    env.run()
+    assert resource.count == 0
+
+
+def test_resource_acquire_context_manager():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    held = []
+
+    def worker():
+        with resource.acquire() as request:
+            yield request
+            held.append(resource.count)
+            yield env.timeout(1)
+        held.append(resource.count)
+
+    env.process(worker())
+    env.run()
+    assert held == [1, 0]
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+
+    def producer():
+        yield store.put("item")
+
+    def consumer():
+        item = yield store.get()
+        return item
+
+    env.process(producer())
+    p = env.process(consumer())
+    assert env.run(until=p) == "item"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer():
+        item = yield store.get()
+        return (item, env.now)
+
+    def producer():
+        yield env.timeout(4)
+        yield store.put("late")
+
+    p = env.process(consumer())
+    env.process(producer())
+    assert env.run(until=p) == ("late", 4)
+
+
+def test_store_fifo_ordering():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for value in [1, 2, 3]:
+            yield store.put(value)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == [1, 2, 3]
+
+
+def test_store_bounded_put_blocks():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        times.append(("a", env.now))
+        yield store.put("b")
+        times.append(("b", env.now))
+
+    def consumer():
+        yield env.timeout(5)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [("a", 0), ("b", 5)]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_store_len_and_items():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert len(store) == 2
+    assert store.items == [1, 2]
+
+
+def test_priority_store_orders_by_priority():
+    env = Environment()
+    store = PriorityStore(env)
+    received = []
+
+    def producer():
+        yield store.put("low", priority=10)
+        yield store.put("high", priority=1)
+        yield store.put("mid", priority=5)
+
+    def consumer():
+        yield env.timeout(1)  # let all puts land before the first get
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == ["high", "mid", "low"]
+
+
+def test_priority_store_ties_fifo():
+    env = Environment()
+    store = PriorityStore(env)
+    received = []
+
+    def producer():
+        for tag in ["first", "second", "third"]:
+            yield store.put(tag, priority=0)
+
+    def consumer():
+        for _ in range(3):
+            received.append((yield store.get()))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == ["first", "second", "third"]
+
+
+def test_many_consumers_each_get_distinct_items():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer():
+        item = yield store.get()
+        received.append(item)
+
+    for _ in range(5):
+        env.process(consumer())
+
+    def producer():
+        for value in range(5):
+            yield store.put(value)
+
+    env.process(producer())
+    env.run()
+    assert sorted(received) == [0, 1, 2, 3, 4]

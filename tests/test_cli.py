@@ -1,0 +1,56 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1 (morello)" in out
+    assert "Table 1 (linux)" in out
+    assert "kvm" in out
+
+
+def test_run_sec8(capsys):
+    assert main(["run", "sec8"]) == 0
+    out = capsys.readouterr().out
+    assert "TCB" in out
+    assert "all enforcement checks passed" in out
+
+
+def test_run_sec77(capsys):
+    assert main(["run", "sec77"]) == 0
+    out = capsys.readouterr().out
+    assert "llm_request" in out
+
+
+def test_run_multiple(capsys):
+    assert main(["run", "table1", "sec8"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "TCB" in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["run", "nonexistent"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiments" in err
+
+
+def test_fig9_scale_factor_flag(capsys):
+    assert main(["run", "fig9", "--scale-factor", "0.002"]) == 0
+    out = capsys.readouterr().out
+    assert "Q1.1" in out and "athena" in out.lower()
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,140 @@
+"""Dynamic composition spawning over the worker's own HTTP interface.
+
+§4.1: "compositions can include nested compositions, or spawn new
+compositions dynamically through Dandelion's HTTP interface, e.g., to
+support dynamic control flow."  The worker frontend is registered as a
+service on its own simulated network, and a composition's communication
+function POSTs to ``/v1/invoke/<name>`` to run another composition.
+"""
+
+import json
+
+import pytest
+
+from repro.functions import (
+    compute_function,
+    format_http_request,
+    parse_http_response_item,
+    read_items,
+    write_item,
+)
+from repro.worker import WorkerConfig, WorkerNode
+
+INNER = """
+composition inner_double {
+    compute d uses doubler in(value) out(result);
+    input value -> d.value;
+    output d.result -> result;
+}
+"""
+
+OUTER = """
+composition outer_spawner {
+    compute prep uses spawn_request in(value) out(request);
+    comm call;
+    compute post uses unwrap_response in(response) out(final);
+    input value -> prep.value;
+    prep.request -> call.request [all];
+    call.response -> post.response [all];
+    output post.final -> final;
+}
+"""
+
+
+@compute_function(compute_cost=1e-4)
+def doubler(vfs):
+    value = int(vfs.read_text("/in/value/value"))
+    vfs.write_text("/out/result/value", str(value * 2))
+
+
+@compute_function(compute_cost=1e-4)
+def spawn_request(vfs):
+    # Dynamic control flow: decide at runtime which composition to
+    # spawn, then call the worker's own HTTP interface.
+    value = vfs.read_text("/in/value/value")
+    body = json.dumps({"value": value}).encode()
+    write_item(
+        vfs, "request", "r",
+        format_http_request(
+            "POST", "http://dandelion.internal/v1/invoke/inner_double", body=body
+        ),
+    )
+
+
+@compute_function(compute_cost=1e-4)
+def unwrap_response(vfs):
+    envelope = parse_http_response_item(read_items(vfs, "response")[0].data)
+    if envelope["status"] != 200:
+        raise RuntimeError(f"nested invocation failed: {envelope}")
+    outputs = json.loads(envelope["body"])
+    doubled = bytes.fromhex(outputs["result"]["value"])
+    write_item(vfs, "final", "value", doubled)
+
+
+def make_worker():
+    worker = WorkerNode(WorkerConfig(total_cores=6, control_plane_enabled=False))
+    # The worker's own frontend becomes a network-reachable service.
+    worker.network.register(worker.frontend)
+    for binary in (doubler, spawn_request, unwrap_response):
+        worker.frontend.register_function(binary)
+    worker.frontend.register_composition(INNER)
+    worker.frontend.register_composition(OUTER)
+    return worker
+
+
+def test_composition_spawns_composition_over_http():
+    worker = make_worker()
+    result = worker.invoke_and_run("outer_spawner", {"value": b"21"})
+    assert result.ok
+    assert result.output("final").item("value").data == b"42"
+    # Two invocations completed: the outer one and the spawned inner one.
+    assert worker.dispatcher.invocations_completed == 2
+
+
+def test_spawned_invocation_failure_propagates():
+    worker = make_worker()
+    # "oops" is not an int: the inner doubler fails, the outer unwrap
+    # sees a 500 and fails the outer invocation.
+    result = worker.invoke_and_run("outer_spawner", {"value": b"oops"})
+    assert not result.ok
+    assert "nested invocation failed" in str(result.error)
+
+
+def test_spawn_unknown_composition_is_404():
+    worker = make_worker()
+
+    @compute_function(compute_cost=1e-5)
+    def bad_spawn(vfs):
+        write_item(
+            vfs, "request", "r",
+            format_http_request("POST", "http://dandelion.internal/v1/invoke/ghost"),
+        )
+
+    @compute_function(compute_cost=1e-5)
+    def expect_404(vfs):
+        envelope = parse_http_response_item(read_items(vfs, "response")[0].data)
+        write_item(vfs, "final", "status", str(envelope["status"]).encode())
+
+    worker.frontend.register_function(bad_spawn)
+    worker.frontend.register_function(expect_404)
+    worker.frontend.register_composition("""
+        composition ghost_spawner {
+            compute prep uses bad_spawn in(seed) out(request);
+            comm call;
+            compute post uses expect_404 in(response) out(final);
+            input seed -> prep.seed;
+            prep.request -> call.request [all];
+            call.response -> post.response [all];
+            output post.final -> final;
+        }
+    """)
+    result = worker.invoke_and_run("ghost_spawner", {"seed": b""})
+    assert result.ok
+    assert result.output("final").item("status").data == b"404"
+
+
+def test_spawn_latency_includes_nested_work():
+    worker = make_worker()
+    result = worker.invoke_and_run("outer_spawner", {"value": b"5"})
+    # Outer pipeline + network round trip + full inner invocation.
+    assert result.latency > 3e-4

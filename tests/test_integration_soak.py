@@ -1,0 +1,168 @@
+"""Soak and structural integration tests across the whole worker.
+
+These stress the system end to end and assert global invariants: no
+leaked memory contexts, conserved engine cores, all invocations
+accounted for, deterministic reruns.
+"""
+
+import pytest
+
+from repro.functions import (
+    compute_function,
+    format_http_request,
+    parse_http_response_item,
+    read_items,
+    write_item,
+)
+from repro.net import EchoService
+from repro.sim import Rng
+from repro.worker import WorkerConfig, WorkerNode
+
+
+@compute_function(name="soak_gen", compute_cost=5e-5)
+def soak_gen(vfs):
+    count = int(vfs.read_text("/in/seed/seed"))
+    for index in range(count):
+        write_item(
+            vfs, "requests", f"r{index}",
+            format_http_request("POST", "http://echo.internal/", body=str(index).encode()),
+        )
+
+
+@compute_function(name="soak_agg", compute_cost=5e-5)
+def soak_agg(vfs):
+    values = []
+    for item in read_items(vfs, "pages"):
+        envelope = parse_http_response_item(item.data)
+        values.append(int(envelope["body"]))
+    write_item(vfs, "out", "sum", str(sum(values)).encode())
+
+
+SOAK_DSL = """
+composition soak {
+    compute g uses soak_gen in(seed) out(requests);
+    comm fetch;
+    compute a uses soak_agg in(pages) out(out);
+    input seed -> g.seed;
+    g.requests -> fetch.request [each];
+    fetch.response -> a.pages [all];
+    output a.out -> result;
+}
+"""
+
+
+def build_worker(seed=0):
+    worker = WorkerNode(
+        WorkerConfig(total_cores=8, control_plane_enabled=True, seed=seed)
+    )
+    worker.network.register(EchoService())
+    worker.frontend.register_function(soak_gen)
+    worker.frontend.register_function(soak_agg)
+    worker.frontend.register_composition(SOAK_DSL)
+    return worker
+
+
+def run_soak(worker, invocations=120, seed=7):
+    rng = Rng(seed)
+    arrivals = rng.poisson_arrivals(rate=300, duration=invocations / 300)
+    env = worker.env
+
+    def one(at, fan):
+        delay = at - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        result = yield worker.frontend.invoke("soak", {"seed": str(fan).encode()})
+        return result
+
+    processes = [
+        env.process(one(at, 1 + index % 5))
+        for index, at in enumerate(arrivals)
+    ]
+    env.run(until=env.all_of(processes))
+    return [process.value for process in processes]
+
+
+def test_soak_all_invocations_correct():
+    worker = build_worker()
+    results = run_soak(worker)
+    assert results
+    for index, result in enumerate(results):
+        assert result.ok, result.error
+        fan = 1 + index % 5
+        expected = sum(range(fan))
+        assert result.output("result").item("sum").data == str(expected).encode()
+
+
+def test_soak_no_leaked_contexts_or_memory():
+    worker = build_worker()
+    run_soak(worker)
+    assert worker.memory.current_bytes == 0
+    assert worker.memory.live_context_count == 0
+    assert worker.memory.peak_bytes > 0
+
+
+def test_soak_cores_conserved_under_control_plane():
+    worker = build_worker()
+    run_soak(worker)
+    # The PI controller may have moved cores, but never created or lost
+    # any.
+    assert worker.total_engine_cores == worker.config.total_cores
+    assert worker.compute_group.engine_count >= 1
+    assert worker.comm_group.engine_count >= 1
+
+
+def test_soak_counters_consistent():
+    worker = build_worker()
+    results = run_soak(worker)
+    assert worker.dispatcher.invocations_started == len(results)
+    assert worker.dispatcher.invocations_completed == len(results)
+    assert worker.dispatcher.invocations_failed == 0
+    # 2 compute nodes per invocation; comm tasks = one per 'each' item.
+    assert worker.compute_group.tasks_executed == 2 * len(results)
+    assert worker.comm_group.tasks_executed >= len(results)
+
+
+def test_soak_deterministic_across_reruns():
+    first = build_worker(seed=3)
+    second = build_worker(seed=3)
+    latencies_a = [r.latency for r in run_soak(first, seed=9)]
+    latencies_b = [r.latency for r in run_soak(second, seed=9)]
+    assert latencies_a == latencies_b
+
+
+def test_one_output_set_feeds_two_consumers():
+    # A producer's output set fans to two different consumer nodes;
+    # both receive the full set and the producer's context is freed
+    # only after both have consumed it.
+    @compute_function(name="dual_src", compute_cost=1e-5)
+    def src(vfs):
+        write_item(vfs, "data", "x", b"shared")
+
+    @compute_function(name="dual_left", compute_cost=1e-5)
+    def left(vfs):
+        write_item(vfs, "out", "l", read_items(vfs, "data")[0].data + b"-L")
+
+    @compute_function(name="dual_right", compute_cost=1e-5)
+    def right(vfs):
+        write_item(vfs, "out", "r", read_items(vfs, "data")[0].data + b"-R")
+
+    worker = WorkerNode(WorkerConfig(total_cores=4, control_plane_enabled=False))
+    for binary in (src, left, right):
+        worker.frontend.register_function(binary)
+    worker.frontend.register_composition("""
+        composition dual {
+            compute s uses dual_src in(seed) out(data);
+            compute l uses dual_left in(data) out(out);
+            compute r uses dual_right in(data) out(out);
+            input seed -> s.seed;
+            s.data -> l.data;
+            s.data -> r.data;
+            output l.out -> left;
+            output r.out -> right;
+        }
+    """)
+    result = worker.invoke_and_run("dual", {"seed": b""})
+    assert result.ok
+    assert result.output("left").item("l").data == b"shared-L"
+    assert result.output("right").item("r").data == b"shared-R"
+    assert worker.memory.live_context_count == 0

@@ -1,0 +1,35 @@
+"""The README quickstart must keep working verbatim."""
+
+import re
+import pathlib
+
+README = pathlib.Path(__file__).resolve().parents[1] / "README.md"
+
+
+def test_readme_quickstart_executes(capsys):
+    source = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", source, re.DOTALL)
+    assert blocks, "README lost its quickstart code block"
+    namespace: dict = {}
+    exec(compile(blocks[0], "<readme-quickstart>", "exec"), namespace)  # noqa: S102
+    out = capsys.readouterr().out
+    assert "DANDELION" in out
+    assert "ms simulated" in out
+
+
+def test_readme_mentions_all_examples():
+    source = README.read_text()
+    examples = pathlib.Path(__file__).resolve().parents[1] / "examples"
+    for script in examples.glob("*.py"):
+        assert script.name in source, f"README does not list {script.name}"
+
+
+def test_readme_experiment_table_matches_cli():
+    from repro.__main__ import EXPERIMENTS
+
+    source = README.read_text()
+    for harness in ("run_table1", "run_fig02", "run_fig05", "run_fig06",
+                    "run_sec74", "run_fig07", "run_fig08", "run_fig09",
+                    "run_fig09_scaling", "run_sec77", "run_fig01", "run_fig10"):
+        assert harness in source
+    assert len(EXPERIMENTS) >= 13

@@ -1,0 +1,131 @@
+"""Tests for synthetic Azure-trace generation and sampling."""
+
+import pytest
+
+from repro.sim import Rng
+from repro.trace import (
+    generate_functions,
+    generate_trace,
+    sample_functions,
+    sample_trace,
+)
+
+
+def test_trace_determinism():
+    a = generate_trace(function_count=20, duration_seconds=100, total_rps=2, seed=7)
+    b = generate_trace(function_count=20, duration_seconds=100, total_rps=2, seed=7)
+    assert a.total_invocations == b.total_invocations
+    assert [i.time for i in a.invocations[:20]] == [i.time for i in b.invocations[:20]]
+
+
+def test_different_seed_different_trace():
+    a = generate_trace(function_count=20, duration_seconds=100, total_rps=2, seed=1)
+    b = generate_trace(function_count=20, duration_seconds=100, total_rps=2, seed=2)
+    assert [i.time for i in a.invocations[:10]] != [i.time for i in b.invocations[:10]]
+
+
+def test_invocations_sorted_and_in_window():
+    trace = generate_trace(function_count=50, duration_seconds=300, total_rps=5, seed=3)
+    times = [inv.time for inv in trace.invocations]
+    assert times == sorted(times)
+    assert all(0 <= t < 300 for t in times)
+
+
+def test_total_rate_roughly_requested():
+    trace = generate_trace(function_count=100, duration_seconds=1200, total_rps=5, seed=4)
+    # Rare-pattern clamping may trim a little; stay within a factor.
+    assert 2.0 < trace.average_rps < 8.0
+
+
+def test_rate_skew_matches_azure_characterisation():
+    functions = generate_functions(200, total_rps=10, rng=Rng(5))
+    rates = sorted(f.mean_rate_rps for f in functions)
+    rare = sum(1 for r in rates if r <= 1 / 60)
+    # Most functions average less than one invocation per minute.
+    assert rare / len(rates) > 0.6
+    # And the hottest function carries far more than the median.
+    assert rates[-1] > 50 * rates[len(rates) // 2]
+
+
+def test_durations_heavy_tailed_but_bounded():
+    trace = generate_trace(function_count=100, duration_seconds=600, total_rps=10, seed=6)
+    durations = [inv.duration_seconds for inv in trace.invocations]
+    assert all(0.01 <= d <= 30.0 for d in durations)
+    durations.sort()
+    median = durations[len(durations) // 2]
+    assert 0.02 < median < 2.0
+    assert durations[-1] > 3 * median
+
+
+def test_memory_bounds():
+    functions = generate_functions(100, total_rps=5, rng=Rng(8))
+    MiB = 1 << 20
+    assert all(16 * MiB <= f.memory_bytes <= 512 * MiB for f in functions)
+
+
+def test_pattern_mix_present():
+    functions = generate_functions(200, total_rps=10, rng=Rng(9))
+    patterns = {f.pattern for f in functions}
+    assert patterns == {"steady", "periodic", "rare"}
+
+
+def test_periodic_functions_have_period_and_bounded_burst():
+    functions = generate_functions(200, total_rps=10, rng=Rng(10))
+    for f in functions:
+        if f.pattern == "periodic":
+            assert f.period_seconds > 0
+            assert 1 <= f.burst_size <= 4
+
+
+def test_generate_functions_validation():
+    with pytest.raises(ValueError):
+        generate_functions(0, total_rps=1, rng=Rng(0))
+    with pytest.raises(ValueError):
+        generate_functions(10, total_rps=0, rng=Rng(0))
+
+
+def test_trace_lookup_helpers():
+    trace = generate_trace(function_count=10, duration_seconds=200, total_rps=3, seed=11)
+    name = trace.functions[0].name
+    assert trace.function(name).name == name
+    with pytest.raises(KeyError):
+        trace.function("ghost")
+    for inv in trace.invocations_of(name):
+        assert inv.function_name == name
+
+
+def test_sample_functions_size_and_membership():
+    functions = generate_functions(200, total_rps=10, rng=Rng(12))
+    picked = sample_functions(functions, 50, Rng(13))
+    assert len(picked) == 50
+    assert len({f.name for f in picked}) == 50
+    names = {f.name for f in functions}
+    assert all(f.name in names for f in picked)
+
+
+def test_sample_preserves_rate_spread():
+    functions = generate_functions(300, total_rps=20, rng=Rng(14))
+    picked = sample_functions(functions, 60, Rng(15))
+    all_rates = sorted(f.mean_rate_rps for f in functions)
+    picked_rates = sorted(f.mean_rate_rps for f in picked)
+    # The sample must include both tails, which uniform sampling of so
+    # few functions would likely miss at the top.
+    assert picked_rates[0] <= all_rates[len(all_rates) // 4]
+    assert picked_rates[-1] >= all_rates[-len(all_rates) // 10]
+
+
+def test_sample_validation():
+    functions = generate_functions(10, total_rps=1, rng=Rng(0))
+    with pytest.raises(ValueError):
+        sample_functions(functions, 0, Rng(0))
+    with pytest.raises(ValueError):
+        sample_functions(functions, 11, Rng(0))
+
+
+def test_sample_trace_restricts_invocations():
+    trace = generate_trace(function_count=50, duration_seconds=300, total_rps=5, seed=16)
+    sampled = sample_trace(trace, 10, Rng(17))
+    assert len(sampled.functions) == 10
+    names = {f.name for f in sampled.functions}
+    assert all(inv.function_name in names for inv in sampled.invocations)
+    assert sampled.duration_seconds == trace.duration_seconds

@@ -1,0 +1,96 @@
+"""Tests for trace replay on Dandelion and Firecracker+Knative."""
+
+import pytest
+
+from repro.trace import (
+    generate_trace,
+    replay_on_dandelion,
+    replay_on_faas,
+)
+
+MiB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    # Dense enough that keep-alive actually produces warm hits: 10
+    # functions sharing ~8 rps over four minutes.
+    return generate_trace(function_count=10, duration_seconds=240, total_rps=8, seed=21)
+
+
+@pytest.fixture(scope="module")
+def dandelion_report(small_trace):
+    return replay_on_dandelion(small_trace)
+
+
+@pytest.fixture(scope="module")
+def faas_report(small_trace):
+    return replay_on_faas(small_trace)
+
+
+def test_all_invocations_served(small_trace, dandelion_report, faas_report):
+    assert dandelion_report.total_requests == small_trace.total_invocations
+    assert faas_report.total_requests == small_trace.total_invocations
+
+
+def test_dandelion_every_request_cold(dandelion_report):
+    assert dandelion_report.cold_fraction == 1.0
+
+
+def test_faas_mostly_warm(faas_report):
+    assert faas_report.cold_fraction < 0.35
+
+
+def test_dandelion_commits_far_less_memory(dandelion_report, faas_report):
+    dandelion = dandelion_report.average_committed_bytes()
+    faas = faas_report.average_committed_bytes()
+    assert dandelion < faas / 5
+
+
+def test_faas_overprovisions_vs_active(faas_report):
+    committed = faas_report.average_committed_bytes()
+    active = faas_report.average_active_bytes()
+    assert committed > 3 * active
+
+
+def test_dandelion_committed_equals_active(dandelion_report):
+    assert dandelion_report.average_committed_bytes() == pytest.approx(
+        dandelion_report.average_active_bytes()
+    )
+
+
+def test_dandelion_memory_returns_to_zero(dandelion_report):
+    assert dandelion_report.committed_series.values[-1] == 0
+
+
+def test_latency_dominated_by_execution(dandelion_report):
+    # Sandbox creation is sub-ms; latencies track the trace durations.
+    assert dandelion_report.latencies.percentile(50) >= 0.01
+
+
+def test_summary_fields(dandelion_report):
+    summary = dandelion_report.summary()
+    assert {"platform", "avg_committed_mib", "p99_latency", "cold_fraction"} <= set(summary)
+    assert summary["platform"] == "dandelion"
+
+
+def test_replay_deterministic(small_trace):
+    first = replay_on_dandelion(small_trace)
+    second = replay_on_dandelion(small_trace)
+    assert first.latencies.percentile(99) == second.latencies.percentile(99)
+    assert first.average_committed_bytes() == second.average_committed_bytes()
+
+
+def test_keep_alive_zero_removes_overprovisioning(small_trace):
+    report = replay_on_faas(small_trace, keep_alive_seconds=0.0)
+    assert report.cold_fraction == 1.0
+    committed = report.average_committed_bytes()
+    active = report.average_active_bytes()
+    assert committed == pytest.approx(active, rel=0.05)
+
+
+def test_longer_keepalive_more_memory_fewer_colds(small_trace):
+    short = replay_on_faas(small_trace, keep_alive_seconds=10.0)
+    long = replay_on_faas(small_trace, keep_alive_seconds=300.0)
+    assert long.average_committed_bytes() > short.average_committed_bytes()
+    assert long.cold_fraction <= short.cold_fraction

@@ -1,0 +1,138 @@
+"""Tests for open-loop load generation and phase-model registration."""
+
+import pytest
+
+from repro.baselines import FIRECRACKER_SNAPSHOT, FaasPlatform, FixedHotRatioPolicy, compute_phase
+from repro.sim import Environment, Rng
+from repro.workloads import (
+    FixedDelayService,
+    fetch_and_compute_phases,
+    matmul_phases,
+    register_phase_composition,
+    run_arrivals,
+    run_open_loop,
+)
+from repro.worker import WorkerConfig, WorkerNode
+
+
+def make_fc(cores=4, hot_ratio=1.0):
+    env = Environment()
+    platform = FaasPlatform(
+        env, FIRECRACKER_SNAPSHOT, cores=cores, policy=FixedHotRatioPolicy(hot_ratio, Rng(0))
+    )
+    platform.register_function("f", [compute_phase(0.001)])
+    return env, platform
+
+
+def test_deterministic_open_loop_counts():
+    env, platform = make_fc()
+    result = run_open_loop(env, lambda: platform.request("f"), rate_rps=100, duration_seconds=1.0)
+    assert result.completed == 100
+    assert result.failed == 0
+    assert len(result.latencies) == 100
+    assert not result.saturated
+
+
+def test_poisson_open_loop_roughly_rate():
+    env, platform = make_fc()
+    result = run_open_loop(
+        env, lambda: platform.request("f"), rate_rps=200, duration_seconds=2.0, rng=Rng(4)
+    )
+    assert 300 < result.completed < 500
+
+
+def test_warmup_excluded_from_latencies():
+    env, platform = make_fc()
+    result = run_open_loop(
+        env,
+        lambda: platform.request("f"),
+        rate_rps=100,
+        duration_seconds=1.0,
+        warmup_seconds=0.5,
+    )
+    assert result.completed == 100
+    assert len(result.latencies) < 100
+
+
+def test_saturation_detected():
+    env, platform = make_fc(cores=1)
+    # 1ms-compute function at 5000 RPS on one core: hopeless.
+    result = run_open_loop(
+        env,
+        lambda: platform.request("f"),
+        rate_rps=5000,
+        duration_seconds=0.5,
+        drain_seconds=0.1,
+    )
+    assert result.saturated
+
+
+def test_run_arrivals_explicit_times():
+    env, platform = make_fc()
+    result = run_arrivals(env, lambda: platform.request("f"), [0.0, 0.5, 1.0])
+    assert result.completed == 3
+    assert result.makespan_seconds >= 1.0
+
+
+def test_summary_shape():
+    env, platform = make_fc()
+    result = run_open_loop(env, lambda: platform.request("f"), 50, 1.0)
+    summary = result.summary()
+    assert {"offered_rps", "achieved_rps", "completed", "p99"} <= set(summary)
+
+
+def test_failed_invocations_counted():
+    worker = WorkerNode(WorkerConfig(total_cores=4, control_plane_enabled=False))
+    register_phase_composition(worker, "m", matmul_phases(1e-4))
+    # Invoke with the wrong inputs: every invocation fails.
+    result = run_open_loop(
+        worker.env,
+        lambda: worker.frontend.invoke("m", {}),
+        rate_rps=10,
+        duration_seconds=0.5,
+    )
+    assert result.failed == 5
+    assert result.completed == 0
+
+
+def test_register_phase_composition_compute_only():
+    worker = WorkerNode(WorkerConfig(total_cores=4, control_plane_enabled=False))
+    name = register_phase_composition(worker, "mm", matmul_phases(2.5e-3))
+    result = worker.invoke_and_run(name, {"data": b"x"})
+    assert result.ok
+    assert result.latency >= 2.5e-3
+
+
+def test_register_phase_composition_with_io():
+    worker = WorkerNode(WorkerConfig(total_cores=4, control_plane_enabled=False))
+    name = register_phase_composition(worker, "fc2", fetch_and_compute_phases(2))
+    result = worker.invoke_and_run(name, {"data": b"x"})
+    assert result.ok
+    # 2 io phases at ~1.2ms each plus compute: at least ~2.8ms.
+    assert result.latency > 2.4e-3
+
+
+def test_phase_chain_length_scales_latency():
+    latencies = []
+    for depth in (2, 8):
+        worker = WorkerNode(WorkerConfig(total_cores=4, control_plane_enabled=False))
+        name = register_phase_composition(worker, f"chain{depth}", fetch_and_compute_phases(depth))
+        result = worker.invoke_and_run(name, {"data": b"x"})
+        assert result.ok
+        latencies.append(result.latency)
+    assert latencies[1] > 2.5 * latencies[0]
+
+
+def test_empty_phases_rejected():
+    worker = WorkerNode(WorkerConfig(total_cores=4, control_plane_enabled=False))
+    with pytest.raises(ValueError):
+        register_phase_composition(worker, "none", [])
+
+
+def test_fixed_delay_service():
+    from repro.net import HttpRequest
+    service = FixedDelayService("s.internal", 0.005, response_bytes=100)
+    response = service.handle(HttpRequest("GET", "http://s.internal/"))
+    assert response.ok
+    assert len(response.body) == 100
+    assert service.service_seconds(None, response) == 0.005
