@@ -1,0 +1,42 @@
+"""Simulation-kernel perf suite (pytest-benchmark).
+
+Micro-benchmarks for the event-kernel hot paths and the
+processor-sharing CPU, plus a reduced Fig 5 sweep as an end-to-end
+smoke gate.  The wall-clock assertions are deliberately generous —
+they catch a 10× regression (e.g. reintroducing the O(n²) rescan),
+not 10% noise; trend tracking lives in ``BENCH_sim_kernel.json``
+(``python -m repro bench``).
+"""
+
+import time
+
+from repro.experiments.bench_kernel import (
+    bench_fig05_reduced,
+    bench_process_spawn,
+    bench_ps_cpu_loaded,
+    bench_timeout_churn,
+)
+
+
+def test_bench_timeout_churn(benchmark):
+    benchmark.pedantic(bench_timeout_churn, args=(100_000,), rounds=1, iterations=1)
+
+
+def test_bench_process_spawn(benchmark):
+    benchmark.pedantic(bench_process_spawn, args=(30_000,), rounds=1, iterations=1)
+
+
+def test_bench_ps_cpu_loaded(benchmark):
+    # The previously quadratic path: thousands of queued jobs on an
+    # oversubscribed PS CPU.  Pre-rewrite this size took minutes.
+    start = time.perf_counter()
+    benchmark.pedantic(bench_ps_cpu_loaded, args=(20_000, 4), rounds=1, iterations=1)
+    assert time.perf_counter() - start < 30.0
+
+
+def test_bench_fig05_reduced(benchmark):
+    seconds = benchmark.pedantic(bench_fig05_reduced, rounds=1, iterations=1)
+    # Post-rewrite this runs in well under a second; the old
+    # implementation took a few seconds.  Budget catches order-of-
+    # magnitude regressions only.
+    assert seconds < 30.0

@@ -6,9 +6,12 @@ Usage::
     python -m repro run table1 fig6 sec77
     python -m repro run all
     python -m repro run fig9 --scale-factor 0.02
+    python -m repro bench [--full] [--output BENCH_sim_kernel.json]
 
 Each experiment prints the same rows/series the paper reports (see
-EXPERIMENTS.md for the paper-vs-measured comparison).
+EXPERIMENTS.md for the paper-vs-measured comparison).  ``bench`` times
+the simulation kernel's hot paths and records them in a JSON file so
+perf regressions are visible across PRs (see docs/simulation.md).
 """
 
 from __future__ import annotations
@@ -97,7 +100,37 @@ def main(argv=None) -> int:
         "--scale-factor", type=float, default=0.01,
         help="SSB scale factor for fig9 (default 0.01)",
     )
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark the simulation kernel, emit a JSON report"
+    )
+    bench_parser.add_argument(
+        "--full", action="store_true",
+        help="also time the full fig5 sweep (minutes, not seconds)",
+    )
+    bench_parser.add_argument(
+        "--output", default="BENCH_sim_kernel.json",
+        help="JSON report path (default BENCH_sim_kernel.json); '-' to skip writing",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "bench":
+        from .experiments.bench_kernel import run_bench
+
+        started = time.time()
+        output = None if args.output == "-" else args.output
+        try:
+            report = run_bench(full=args.full, output=output)
+        except OSError as exc:
+            print(f"cannot write bench report: {exc}", file=sys.stderr)
+            return 1
+        for name, numbers in report["benchmarks"].items():
+            rate = numbers.get("ops_per_second")
+            suffix = f"  ({rate:,} ops/s)" if rate else ""
+            print(f"{name:32} {numbers['seconds']:>9.3f}s{suffix}")
+        if output:
+            print(f"report written to {output}")
+        print(f"[bench finished in {time.time() - started:.1f}s]")
+        return 0
 
     if args.command == "list":
         for name, (description, _runner) in EXPERIMENTS.items():

@@ -329,11 +329,17 @@ class FaasPlatform:
         sandbox.expires_at = self.env.now + self.policy.keep_alive_seconds
         generation = sandbox.generation
         self._idle[function.name].append(sandbox)
-        self.env.process(self._reap(function.name, sandbox, generation))
+        # Reap via a direct timer callback: a generator process per
+        # released sandbox (Process + Initialize + completion event)
+        # is measurable churn on keep-alive-heavy runs (Fig 1/Fig 10
+        # Azure replays release a sandbox per request).
+        timer = self.env.timeout(self.policy.keep_alive_seconds)
+        timer.callbacks.append(
+            lambda _evt: self._reap(function.name, sandbox, generation)
+        )
         self._record_memory()
 
-    def _reap(self, function_name: str, sandbox: Sandbox, generation: int):
-        yield self.env.timeout(self.policy.keep_alive_seconds)
+    def _reap(self, function_name: str, sandbox: Sandbox, generation: int) -> None:
         idle = self._idle[function_name]
         if sandbox in idle and sandbox.generation == generation:
             idle.remove(sandbox)

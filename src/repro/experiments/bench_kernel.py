@@ -1,0 +1,147 @@
+"""Simulation-kernel performance benchmark (``python -m repro bench``).
+
+Times the hot paths every experiment flows through — raw event
+scheduling, the virtual-time processor-sharing CPU, process chains —
+plus a reduced Fig 5 sweep as an end-to-end proxy, and writes the
+numbers to ``BENCH_sim_kernel.json`` so future changes have a
+trajectory to regress against.
+
+The JSON also carries the recorded before/after wall-clock of the full
+``run_fig05()`` sweep across the virtual-time PS rewrite (the O(n)
+per-membership rescan made loaded baselines O(n²) in queued jobs);
+re-measure with ``--full`` to append a fresh number on your machine.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Callable
+
+from ..sim.core import Environment
+from ..sim.cpu import ProcessorSharingCpu
+
+__all__ = ["run_bench", "DEFAULT_OUTPUT", "REFERENCE"]
+
+DEFAULT_OUTPUT = "BENCH_sim_kernel.json"
+
+# Wall-clock of the full Fig 5 sweep (9 systems, 11-rate sweep, 1 s
+# duration) measured on the development machine before and after the
+# virtual-time PS + kernel fast-path rewrite.  "profiled" is under
+# cProfile, which is how the hot spots were attributed.
+REFERENCE = {
+    "fig05_full_seconds": {"pre_virtual_time": 53.5, "post_virtual_time": 6.3},
+    "fig05_full_profiled_seconds": {"pre_virtual_time": 213.8, "post_virtual_time": 17.1},
+    "machine": "Linux x86_64 dev container, CPython 3.11",
+}
+
+
+def _timed(fn: Callable[[], int]) -> dict:
+    """Run ``fn`` once; it returns an operation count."""
+    start = time.perf_counter()
+    operations = fn()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "operations": operations,
+        "ops_per_second": round(operations / elapsed) if elapsed > 0 else None,
+    }
+
+
+def bench_timeout_churn(count: int = 200_000) -> int:
+    """Raw event-loop throughput: schedule and drain plain timeouts."""
+    env = Environment()
+
+    def ticker(n):
+        for _ in range(n):
+            yield env.timeout(0.001)
+
+    env.process(ticker(count))
+    env.run()
+    return count
+
+
+def bench_process_spawn(count: int = 50_000) -> int:
+    """Process creation + completion (Initialize/StopIteration path)."""
+    env = Environment()
+
+    def child():
+        yield env.timeout(0.001)
+        return 1
+
+    def parent(n):
+        for _ in range(n):
+            yield env.process(child())
+
+    env.process(parent(count))
+    env.run()
+    return count
+
+
+def bench_ps_cpu_loaded(jobs: int = 20_000, cores: int = 4) -> int:
+    """The previously quadratic path: a heavily oversubscribed PS CPU.
+
+    Open-loop arrivals outpace service so the run queue grows into the
+    thousands; before the virtual-time rewrite each arrival rescanned
+    every queued job.
+    """
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores, switch_overhead_seconds=5e-6)
+
+    def submitter(index):
+        yield env.timeout(1e-4 * index)
+        yield cpu.consume(1e-3)
+
+    for index in range(jobs):
+        env.process(submitter(index))
+    env.run()
+    assert cpu.jobs_completed == jobs
+    return jobs
+
+
+def bench_fig05_reduced() -> float:
+    """End-to-end proxy: 3 systems × 3 rates, 0.2 s duration."""
+    from .fig05_creation_throughput import run_fig05
+
+    start = time.perf_counter()
+    run_fig05(
+        systems=("dandelion-kvm", "wasmtime", "firecracker-snapshot"),
+        rates=(200, 1000, 4000),
+        duration_seconds=0.2,
+    )
+    return time.perf_counter() - start
+
+
+def bench_fig05_full() -> float:
+    from .fig05_creation_throughput import run_fig05
+
+    start = time.perf_counter()
+    run_fig05()
+    return time.perf_counter() - start
+
+
+def run_bench(full: bool = False, output: str | None = DEFAULT_OUTPUT) -> dict:
+    """Run the kernel benchmark suite; optionally write ``output``."""
+    benchmarks = {
+        "timeout_churn_200k": _timed(bench_timeout_churn),
+        "process_spawn_50k": _timed(bench_process_spawn),
+        "ps_cpu_loaded_20k_jobs_4_cores": _timed(bench_ps_cpu_loaded),
+        "fig05_reduced": {"seconds": round(bench_fig05_reduced(), 4)},
+    }
+    if full:
+        benchmarks["fig05_full"] = {"seconds": round(bench_fig05_full(), 2)}
+    report = {
+        "schema": "repro-bench-sim-kernel/v1",
+        "generated_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benchmarks": benchmarks,
+        "reference": REFERENCE,
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    return report

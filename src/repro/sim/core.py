@@ -29,12 +29,23 @@ The public surface is:
     Composite conditions over several events.
 
 Time is a float; the unit is **seconds** throughout the code base.
+
+Fast-path invariants (everything downstream schedules millions of
+events per experiment, so the kernel keeps allocations minimal):
+
+- every event class declares ``__slots__``; subclasses defined outside
+  this module may omit it (they then carry a ``__dict__``, which is
+  fine — only the kernel's own classes need to stay lean);
+- ``Timeout``/``Initialize`` construction and ``succeed``/``fail`` push
+  straight onto the environment heap without intermediate helpers;
+- heap entries are ``(time, priority, seq, event)`` tuples where ``seq``
+  is a monotonically increasing tie-breaker, giving deterministic FIFO
+  order for same-time events.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -78,6 +89,8 @@ class Event:
     schedules the event; the environment then runs its callbacks
     (usually resuming processes waiting on it).
     """
+
+    __slots__ = ("env", "callbacks", "_state", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -123,7 +136,8 @@ class Event:
         self._ok = True
         self._value = value
         self._state = _TRIGGERED
-        self.env._schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, 1, env._next_seq(), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -135,7 +149,8 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = _TRIGGERED
-        self.env._schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, 1, env._next_seq(), self))
         return self
 
     def _mark_processed(self) -> None:
@@ -149,15 +164,21 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` seconds of virtual time from now."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ plus scheduling: a Timeout is born
+        # triggered, so it goes straight onto the heap.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
         self._state = _TRIGGERED
-        env._schedule(self, delay=delay)
+        self.delay = delay
+        heappush(env._queue, (env._now + delay, 1, env._next_seq(), self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -166,12 +187,16 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.env = env
+        self.callbacks = [process._resume]
+        self._value = None
         self._ok = True
+        self._defused = False
         self._state = _TRIGGERED
-        env._schedule(self)
+        heappush(env._queue, (env._now, 1, env._next_seq(), self))
 
 
 class Process(Event):
@@ -181,6 +206,8 @@ class Process(Event):
     resumed when those events occur.  The value of a completed process
     is the generator's return value.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
@@ -221,67 +248,85 @@ class Process(Event):
     # -- internal -----------------------------------------------------
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        generator = self._generator
+        env._active_process = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event._defused = True
                     exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
                 self._state = _TRIGGERED
-                self.env._schedule(self)
+                heappush(env._queue, (env._now, 1, env._next_seq(), self))
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
                 self._state = _TRIGGERED
-                self.env._schedule(self)
+                heappush(env._queue, (env._now, 1, env._next_seq(), self))
                 break
 
-            if not isinstance(next_event, Event):
-                exc = SimulationError(
-                    f"process yielded a non-event: {next_event!r}"
-                )
-                event = Event(self.env)
-                event._ok = False
-                event._value = exc
-                event._defused = True
-                continue
+            if type(next_event) is Timeout or isinstance(next_event, Event):
+                if next_event.env is not env:
+                    raise SimulationError("cannot wait on an event from another environment")
 
-            if next_event.env is not self.env:
-                raise SimulationError("cannot wait on an event from another environment")
+                if next_event._state == _PROCESSED:
+                    # Already happened: resume immediately with its value.
+                    event = next_event
+                    continue
 
-            if next_event._state == _PROCESSED:
-                # Already happened: resume immediately with its value.
-                event = next_event
-                continue
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
 
-            next_event.callbacks.append(self._resume)
-            self._target = next_event
-            break
+            exc = SimulationError(
+                f"process yielded a non-event: {next_event!r}"
+            )
+            event = Event(env)
+            event._ok = False
+            event._value = exc
+            event._defused = True
 
-        self.env._active_process = None
+        env._active_process = None
 
 
 class _Condition(Event):
-    """Base for AllOf/AnyOf composite events."""
+    """Base for AllOf/AnyOf composite events.
+
+    Duplicate events (by identity) count once: historically a
+    duplicated constituent that was still pending — or ``_TRIGGERED``
+    but not yet ``_PROCESSED`` — at construction registered one callback
+    per occurrence, so a single firing decremented the wait count
+    multiple times.  Deduplicating keeps the semantics uniform across
+    all lifecycle states: ``AllOf([e, e])`` waits for ``e`` exactly
+    once, matching the value dict (which can only carry ``e`` once).
+    """
+
+    __slots__ = ("_events", "_remaining")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
-        self._events = list(events)
-        self._remaining = len(self._events)
-        for evt in self._events:
+        unique: list[Event] = []
+        seen: set[int] = set()
+        for evt in events:
             if evt.env is not env:
                 raise SimulationError("all events must share one environment")
-        if not self._events:
+            if id(evt) in seen:
+                continue
+            seen.add(id(evt))
+            unique.append(evt)
+        self._events = unique
+        self._remaining = len(unique)
+        if not unique:
             self.succeed({})
             return
-        for evt in self._events:
+        for evt in unique:
             if evt._state == _PROCESSED:
                 self._check(evt)
             else:
@@ -305,6 +350,8 @@ class AllOf(_Condition):
     as any constituent fails.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self._state != _PENDING:
             return
@@ -320,6 +367,8 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires as soon as any constituent event fires."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self._state != _PENDING:
             return
@@ -333,10 +382,12 @@ class AnyOf(_Condition):
 class Environment:
     """The simulation environment: virtual clock plus event queue."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
-        self._counter = itertools.count()
+        self._seq = 0
         self._active_process: Optional[Process] = None
 
     @property
@@ -373,10 +424,15 @@ class Environment:
 
     # -- scheduling and execution --------------------------------------
 
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._counter), event)
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -384,14 +440,16 @@ class Environment:
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise SimulationError("no more events")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _priority, _seq, event = heappop(queue)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
-        callbacks, event.callbacks = event.callbacks, []
-        event._mark_processed()
+        callbacks = event.callbacks
+        event.callbacks = []
+        event._state = _PROCESSED
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -414,16 +472,18 @@ class Environment:
             if stop_time < self._now:
                 raise SimulationError("cannot run until a time in the past")
 
-        while self._queue:
+        queue = self._queue
+        step = self.step
+        while queue:
             if stop_event is not None and stop_event._state == _PROCESSED:
                 if not stop_event._ok:
                     stop_event._defused = True
                     raise stop_event._value
                 return stop_event._value
-            if self.peek() > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            step()
 
         if stop_event is not None:
             if stop_event._state != _PROCESSED:

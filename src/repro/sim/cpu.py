@@ -1,4 +1,4 @@
-"""Processor-sharing CPU model.
+"""Processor-sharing CPU model (virtual-time implementation).
 
 Traditional FaaS sandboxes are multiplexed by the OS scheduler: when
 more runnable threads exist than cores, everyone slows down and pays
@@ -12,24 +12,43 @@ standing in for context-switch cost.
 Dandelion's own engines do NOT use this model — they are dedicated
 cores with run-to-completion — which is precisely the comparison
 Fig 7 makes.
+
+Implementation: the classic *virtual-time* PS algorithm.  A single
+clock ``V`` tracks the service attained by any job continuously present
+(all jobs attain service at the same rate under PS, so one clock covers
+everyone).  A job arriving when the clock reads ``V_a`` with ``w``
+seconds of work finishes when the clock reaches ``F = V_a + w``; jobs
+live in a min-heap keyed on ``F``.  A membership change only advances
+``V`` (one multiply) and pushes/pops heap entries — O(log n) — instead
+of rescanning every queued job's remaining work, which made loaded
+baselines O(n²) in queue length.  Completion timers are plain
+:class:`~repro.sim.core.Timeout` events with a direct callback, re-armed
+lazily: an arrival that pushes the next completion later keeps the
+already-armed (now early) timer, which simply re-arms when it fires, so
+arrivals do not grow the event heap.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Optional
 
-from .core import Environment, Event
+from .core import Environment, Event, Timeout
 
 __all__ = ["ProcessorSharingCpu"]
 
+# Jobs whose finish tag is within this many attained-service seconds of
+# the virtual clock are considered complete (absorbs float rounding in
+# the timer delay round-trip).
+_COMPLETION_EPSILON = 1e-12
+
 
 class _Job:
-    __slots__ = ("remaining", "event", "last_update")
+    __slots__ = ("start_v", "event")
 
-    def __init__(self, work: float, event: Event, now: float):
-        self.remaining = work
+    def __init__(self, start_v: float, event: Event):
+        self.start_v = start_v
         self.event = event
-        self.last_update = now
 
 
 class ProcessorSharingCpu:
@@ -53,24 +72,41 @@ class ProcessorSharingCpu:
         # queue exceeds the core count — the rest is lost to context
         # switches and cache pollution.
         self.oversubscribed_efficiency = oversubscribed_efficiency
-        self._jobs: list[_Job] = []
-        self._timer: Optional[Event] = None
-        self._timer_generation = 0
+        # Min-heap of (finish_v, seq, job); seq breaks finish-tag ties
+        # in arrival order so completion order stays deterministic.
+        self._heap: list[tuple[float, int, _Job]] = []
+        self._seq = 0
+        self._vtime = 0.0          # attained service per job so far (V)
+        self._last_update = env.now
+        self._timer: Optional[Timeout] = None
+        self._timer_deadline = float("inf")
         self.jobs_completed = 0
-        self.busy_core_seconds = 0.0
+        self._done_work = 0.0      # total attained service of completed jobs
 
     @property
     def active_jobs(self) -> int:
-        return len(self._jobs)
+        return len(self._heap)
 
     @property
     def current_rate(self) -> float:
         """Per-job progress rate in cores (1.0 = a dedicated core)."""
-        if not self._jobs:
+        k = len(self._heap)
+        if k <= self.cores:
             return 1.0
-        if len(self._jobs) <= self.cores:
-            return 1.0
-        return (self.cores / len(self._jobs)) * self.oversubscribed_efficiency
+        return (self.cores / k) * self.oversubscribed_efficiency
+
+    @property
+    def busy_core_seconds(self) -> float:
+        """Total attained service: completed work plus in-flight progress."""
+        attained = self._done_work
+        if self._heap:
+            v = self._vtime
+            elapsed = self.env.now - self._last_update
+            if elapsed > 0:
+                v += elapsed * self.current_rate
+            for _finish_v, _seq, job in self._heap:
+                attained += v - job.start_v
+        return attained
 
     def consume(self, cpu_seconds: float) -> Event:
         """Submit a job needing ``cpu_seconds`` of one core; returns its
@@ -81,51 +117,67 @@ class ProcessorSharingCpu:
         if cpu_seconds == 0:
             event.succeed()
             return event
-        self._advance()
+        self._advance_vtime()
         # Each membership change forces a round of context switches on
         # oversubscribed cores.
         work = cpu_seconds
-        if len(self._jobs) >= self.cores and self.switch_overhead_seconds:
+        if len(self._heap) >= self.cores and self.switch_overhead_seconds:
             work += self.switch_overhead_seconds
-        self._jobs.append(_Job(work, event, self.env.now))
-        self._reschedule()
+        self._seq += 1
+        heappush(self._heap, (self._vtime + work, self._seq, _Job(self._vtime, event)))
+        self._arm_timer()
         return event
 
     # -- internals -----------------------------------------------------------
 
-    def _advance(self) -> None:
-        """Account progress made since the last membership change."""
-        if not self._jobs:
-            return
-        rate = self.current_rate
+    def _advance_vtime(self) -> None:
+        """Advance the virtual clock to the current instant."""
         now = self.env.now
-        for job in self._jobs:
-            elapsed = now - job.last_update
-            progressed = elapsed * rate
-            job.remaining = max(0.0, job.remaining - progressed)
-            job.last_update = now
-            self.busy_core_seconds += progressed
+        if self._heap:
+            elapsed = now - self._last_update
+            if elapsed > 0:
+                self._vtime += elapsed * self.current_rate
+        self._last_update = now
 
-    def _reschedule(self) -> None:
-        """Arm a timer for the earliest completion under the current rate."""
-        self._timer_generation += 1
-        generation = self._timer_generation
-        if not self._jobs:
+    def _arm_timer(self) -> None:
+        """Ensure a timer fires no later than the next completion.
+
+        A pending timer that fires *early* is harmless — its callback
+        finds no finished job and re-arms — so arrivals that push the
+        next completion later (the common case: rate drops, finish tags
+        move out) reuse the pending timer instead of allocating a new
+        event.  Only an arrival that pulls the next completion *earlier*
+        (a short job under-cutting the current heap top) arms a fresh
+        timer; the superseded one is skipped by identity when it fires.
+        """
+        if not self._heap:
+            self._timer = None
+            self._timer_deadline = float("inf")
             return
-        rate = self.current_rate
-        soonest = min(job.remaining for job in self._jobs)
-        delay = soonest / rate if rate > 0 else float("inf")
-        self.env.process(self._fire_after(delay, generation))
+        delay = (self._heap[0][0] - self._vtime) / self.current_rate
+        if delay < 0.0:
+            delay = 0.0
+        deadline = self.env.now + delay
+        if self._timer is not None and self._timer_deadline <= deadline:
+            return
+        self._timer = self.env.timeout(delay)
+        self._timer_deadline = deadline
+        self._timer.callbacks.append(self._on_timer)
 
-    def _fire_after(self, delay: float, generation: int):
-        yield self.env.timeout(delay)
-        if generation != self._timer_generation:
-            return  # superseded by a newer membership change
-        self._advance()
-        finished = [job for job in self._jobs if job.remaining <= 1e-12]
-        if finished:
-            self._jobs = [job for job in self._jobs if job.remaining > 1e-12]
-            for job in finished:
-                self.jobs_completed += 1
-                job.event.succeed()
-        self._reschedule()
+    def _on_timer(self, timeout: Event) -> None:
+        if timeout is not self._timer:
+            return  # superseded by a newer, earlier timer
+        self._timer = None
+        self._timer_deadline = float("inf")
+        self._advance_vtime()
+        heap = self._heap
+        threshold = self._vtime + _COMPLETION_EPSILON
+        finished: list[_Job] = []
+        while heap and heap[0][0] <= threshold:
+            finish_v, _seq, job = heappop(heap)
+            self._done_work += finish_v - job.start_v
+            finished.append(job)
+        for job in finished:
+            self.jobs_completed += 1
+            job.event.succeed()
+        self._arm_timer()

@@ -1,0 +1,84 @@
+"""Deterministic snapshot of a reduced Fig 5 sweep.
+
+The expected values below were captured from the pre-optimization
+simulator (the O(n)-rescan ``ProcessorSharingCpu`` and the
+generator-based completion timers) on the exact reduced sweep run here:
+3 systems × 3 rates, 0.2 s duration.  The virtual-time rewrite must
+reproduce them — the optimization is allowed to change wall-clock time
+only, never virtual-time results.  Agreement is required to 1e-9
+relative (the two algorithms accumulate float rounding in a different
+order, so the last couple of ulps may differ; anything larger is a
+semantic regression).
+
+The test also pins bit-exact determinism of the current implementation:
+two runs with the same seed must agree exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.fig05_creation_throughput import run_fig05
+
+_SYSTEMS = ("dandelion-kvm", "wasmtime", "firecracker-snapshot")
+_RATES = (200, 1000, 4000)
+_DURATION = 0.2
+
+# Captured from the pre-optimization implementation (commit 0248ada).
+# The sweep stops early for a system once it saturates, hence only one
+# firecracker-snapshot row.
+_EXPECTED_ROWS = [
+    {"system": "dandelion-kvm", "offered_rps": 200,
+     "achieved_rps": 204.1962325795088,
+     "p50_ms": 0.8900000000000019, "p99_ms": 0.8900000000000019,
+     "saturated": False},
+    {"system": "dandelion-kvm", "offered_rps": 1000,
+     "achieved_rps": 1000.5503026664658,
+     "p50_ms": 0.8900000000000019, "p99_ms": 0.8900000000000019,
+     "saturated": False},
+    {"system": "dandelion-kvm", "offered_rps": 4000,
+     "achieved_rps": 3987.2408293460894,
+     "p50_ms": 0.8900000000000019, "p99_ms": 0.8900000000000019,
+     "saturated": False},
+    {"system": "wasmtime", "offered_rps": 200,
+     "achieved_rps": 204.65398511193413,
+     "p50_ms": 0.45185000000000364, "p99_ms": 0.45185000000000364,
+     "saturated": False},
+    {"system": "wasmtime", "offered_rps": 1000,
+     "achieved_rps": 1002.7482823548634,
+     "p50_ms": 0.45185000000000364, "p99_ms": 0.45185000000000364,
+     "saturated": False},
+    {"system": "wasmtime", "offered_rps": 4000,
+     "achieved_rps": 3995.967070234363,
+     "p50_ms": 0.45185000000000364, "p99_ms": 0.45185000000000364,
+     "saturated": False},
+    {"system": "firecracker-snapshot", "offered_rps": 200,
+     "achieved_rps": 141.53601778658333,
+     "p50_ms": 101.57358295902841, "p99_ms": 125.6374508168408,
+     "saturated": True},
+]
+
+
+def _run_reduced():
+    return run_fig05(systems=_SYSTEMS, rates=_RATES, duration_seconds=_DURATION)
+
+
+def test_fig05_reduced_sweep_matches_pre_optimization_snapshot():
+    result = _run_reduced()
+    assert len(result.rows) == len(_EXPECTED_ROWS)
+    for row, expected in zip(result.rows, _EXPECTED_ROWS):
+        assert row["system"] == expected["system"]
+        assert row["offered_rps"] == expected["offered_rps"]
+        assert row["saturated"] == expected["saturated"]
+        for key in ("achieved_rps", "p50_ms", "p99_ms"):
+            assert not math.isnan(row[key])
+            assert row[key] == pytest.approx(expected[key], rel=1e-9), (
+                f"{row['system']}@{row['offered_rps']}rps {key}: "
+                f"{row[key]!r} != snapshot {expected[key]!r}"
+            )
+
+
+def test_fig05_reduced_sweep_is_bit_deterministic():
+    first = _run_reduced()
+    second = _run_reduced()
+    assert first.rows == second.rows

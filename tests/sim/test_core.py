@@ -255,6 +255,78 @@ def test_all_of_empty_fires_immediately():
     assert env.run(until=p) == {}
 
 
+def test_all_of_duplicate_events_count_once():
+    # A duplicated constituent must behave identically whatever its
+    # lifecycle state at construction; the condition waits for it once.
+    env = Environment()
+    evt = env.event()
+
+    def opener():
+        yield env.timeout(1)
+        evt.succeed("v")
+
+    def waiter():
+        results = yield AllOf(env, [evt, evt])
+        return results
+
+    env.process(opener())
+    p = env.process(waiter())
+    assert env.run(until=p) == {evt: "v"}
+
+
+def test_all_of_duplicate_triggered_but_unprocessed_event():
+    # Regression: an event that is already triggered (scheduled) but
+    # not yet processed at construction used to register one callback
+    # per occurrence in `events` ("double-register"); with dedupe the
+    # condition fires exactly once with the event counted once.
+    env = Environment()
+    evt = env.event()
+    evt.succeed("v")  # triggered, callbacks not yet run
+    assert evt.triggered and not evt.processed
+
+    def waiter():
+        results = yield AllOf(env, [evt, evt])
+        return results
+
+    p = env.process(waiter())
+    assert env.run(until=p) == {evt: "v"}
+
+
+def test_all_of_duplicates_mixed_with_pending_event():
+    env = Environment()
+    dup = env.event()
+    other = env.event()
+
+    def opener():
+        yield env.timeout(1)
+        dup.succeed("a")
+        yield env.timeout(1)
+        other.succeed("b")
+
+    def waiter():
+        results = yield AllOf(env, [dup, other, dup])
+        return (env.now, results)
+
+    env.process(opener())
+    p = env.process(waiter())
+    now, results = env.run(until=p)
+    assert now == 2
+    assert results == {dup: "a", other: "b"}
+
+
+def test_any_of_duplicate_events_fire_once():
+    env = Environment()
+    evt = env.event()
+    evt.succeed("x")
+
+    def waiter():
+        results = yield AnyOf(env, [evt, evt])
+        return results
+
+    p = env.process(waiter())
+    assert env.run(until=p) == {evt: "x"}
+
+
 def test_interrupt_wakes_blocked_process():
     env = Environment()
 

@@ -106,3 +106,59 @@ def test_conservation_of_work():
     # submitted work (no overhead configured).
     env, cpu, finishes = run_jobs(3, [0.5, 1.5, 2.5, 0.25], stagger=0.3)
     assert cpu.busy_core_seconds == pytest.approx(0.5 + 1.5 + 2.5 + 0.25, rel=1e-6)
+
+
+def test_arrivals_do_not_accumulate_stale_timers():
+    # Regression: each arrival used to spawn a fresh timer process
+    # (Process + Initialize + Timeout on the event heap), superseding
+    # the previous one by generation but leaving it dead in the heap —
+    # N arrivals meant N stale entries.  Arrivals that push the next
+    # completion later must reuse the pending timer instead.
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=1)
+    events = [cpu.consume(1.0) for _ in range(200)]
+    # One armed completion timer; no per-arrival debris.
+    assert len(env._queue) <= 2
+    env.run()
+    assert cpu.jobs_completed == 200
+    assert all(evt.processed for evt in events)
+
+
+def test_staggered_arrivals_keep_event_heap_bounded():
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=2)
+    peak = {"value": 0}
+
+    def submitter(index):
+        yield env.timeout(0.01 * index)
+        yield cpu.consume(1.0)
+        peak["value"] = max(peak["value"], len(env._queue))
+
+    for index in range(100):
+        env.process(submitter(index))
+    env.run()
+    assert cpu.jobs_completed == 100
+    # Heap holds waiting submitter timeouts plus O(1) CPU timers — far
+    # below the 2×N dead-timer growth of the generation-based scheme.
+    assert peak["value"] < 150
+
+
+def test_short_job_undercuts_pending_timer():
+    # A short arrival that finishes before the currently armed timer
+    # must re-arm earlier (the stale timer is skipped by identity).
+    env = Environment()
+    cpu = ProcessorSharingCpu(env, cores=2)
+    finishes = {}
+
+    def job(tag, delay, work):
+        if delay:
+            yield env.timeout(delay)
+        yield cpu.consume(work)
+        finishes[tag] = env.now
+
+    env.process(job("long", 0.0, 10.0))
+    env.process(job("short", 1.0, 0.5))
+    env.run()
+    # Two cores, two jobs: both run at full rate.
+    assert finishes["short"] == pytest.approx(1.5)
+    assert finishes["long"] == pytest.approx(10.0)
