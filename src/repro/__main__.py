@@ -6,6 +6,7 @@ Usage::
     python -m repro run table1 fig6 sec77
     python -m repro run all
     python -m repro run fig9 --scale-factor 0.02
+    python -m repro run fig7 --profile
     python -m repro bench [--full] [--output BENCH_sim_kernel.json]
 
 Each experiment prints the same rows/series the paper reports (see
@@ -100,6 +101,10 @@ def main(argv=None) -> int:
         "--scale-factor", type=float, default=0.01,
         help="SSB scale factor for fig9 (default 0.01)",
     )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 25 cumulative entries",
+    )
     bench_parser = subparsers.add_parser(
         "bench", help="benchmark the simulation kernel, emit a JSON report"
     )
@@ -123,10 +128,22 @@ def main(argv=None) -> int:
         except OSError as exc:
             print(f"cannot write bench report: {exc}", file=sys.stderr)
             return 1
+        def _print_bench(name: str, numbers: dict, indent: str = "") -> None:
+            if "seconds" not in numbers:  # nested group (dispatcher_data_plane)
+                print(f"{indent}{name}:")
+                for sub_name, sub_numbers in numbers.items():
+                    _print_bench(sub_name, sub_numbers, indent + "  ")
+                return
+            rate = numbers.get("ops_per_second") or numbers.get("bytes_per_second")
+            unit = "ops/s" if numbers.get("ops_per_second") else "B/s"
+            suffix = f"  ({rate:,} {unit})" if rate else ""
+            steps = numbers.get("sim_steps_per_invocation")
+            if steps is not None:
+                suffix += f"  [{steps} sim-steps/invocation]"
+            print(f"{indent}{name:32} {numbers['seconds']:>9.3f}s{suffix}")
+
         for name, numbers in report["benchmarks"].items():
-            rate = numbers.get("ops_per_second")
-            suffix = f"  ({rate:,} ops/s)" if rate else ""
-            print(f"{name:32} {numbers['seconds']:>9.3f}s{suffix}")
+            _print_bench(name, numbers)
         if output:
             print(f"report written to {output}")
         print(f"[bench finished in {time.time() - started:.1f}s]")
@@ -143,6 +160,18 @@ def main(argv=None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for name in names:
+            _run_one(name, args)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+        return 0
     for name in names:
         _run_one(name, args)
     return 0

@@ -66,6 +66,10 @@ class IsolationBackend:
     def __init__(self, spec: BackendSpec):
         self.spec = spec
         self.name = spec.name
+        # The stage breakdown is a pure function of its arguments and is
+        # consumed read-only, so identical invocations (fixed-size hot
+        # functions under load) share one memoized dict.
+        self._breakdown_cache: dict[tuple, dict[str, float]] = {}
 
     def execute(
         self,
@@ -94,15 +98,29 @@ class IsolationBackend:
                 f"{compute_seconds * self.spec.compute_slowdown:.6f}s exceeds "
                 f"the {timeout:.6f}s timeout"
             )
-        result = run_compute_function(binary, input_sets, output_set_names)
-        breakdown = self.spec.breakdown(
-            binary_size=binary.binary_size,
-            input_bytes=result.input_bytes,
-            output_bytes=result.output_bytes,
-            compute_seconds=compute_seconds,
-            cached=cached,
-            remap_input=remap_input,
+        result = run_compute_function(
+            binary, input_sets, output_set_names, input_bytes=input_bytes
         )
+        key = (
+            binary.binary_size,
+            result.input_bytes,
+            result.output_bytes,
+            compute_seconds,
+            cached,
+            remap_input,
+        )
+        breakdown = self._breakdown_cache.get(key)
+        if breakdown is None:
+            breakdown = self.spec.breakdown(
+                binary_size=binary.binary_size,
+                input_bytes=result.input_bytes,
+                output_bytes=result.output_bytes,
+                compute_seconds=compute_seconds,
+                cached=cached,
+                remap_input=remap_input,
+            )
+            if len(self._breakdown_cache) < 1024:
+                self._breakdown_cache[key] = breakdown
         return SandboxExecution(result=result, breakdown=breakdown)
 
     def creation_seconds(self, binary: FunctionBinary, cached: bool = False) -> float:

@@ -28,7 +28,7 @@ from typing import Iterable, Optional
 
 from ..backends.base import IsolationBackend, create_backend
 from ..composition.registry import DEFAULT_BINARY_SIZE, FunctionBinary
-from ..sim.core import Environment
+from ..sim.core import Environment, Event, _PROCESSED
 from ..sim.cpu import ProcessorSharingCpu
 from ..sim.metrics import LatencyRecorder
 from ..sim.resources import Resource
@@ -67,6 +67,12 @@ class DHybridPlatform:
         self.backend = backend or create_backend("kvm", "linux")
         self._functions: dict[str, FunctionModel] = {}
         self._binaries: dict[str, FunctionBinary] = {}
+        # Sandbox-creation cost per function is load-independent; cache
+        # it at registration instead of recomputing per request.
+        self._creation_seconds: dict[str, float] = {}
+        # Pinned tasks hold their core through creation and every phase,
+        # so the whole residency collapses into one timeout.
+        self._pinned_residency: dict[str, float] = {}
         if pinned:
             self._core_pool = Resource(env, capacity=cores)
             self._cpu = None
@@ -89,10 +95,16 @@ class DHybridPlatform:
             raise ValueError(f"function {name!r} already registered")
         function = FunctionModel(name, tuple(phases))
         self._functions[name] = function
-        self._binaries[name] = FunctionBinary(
+        binary = FunctionBinary(
             name=name,
             entry_point=_creation_placeholder,
             binary_size=DEFAULT_BINARY_SIZE,
+        )
+        self._binaries[name] = binary
+        creation = self.backend.creation_seconds(binary)
+        self._creation_seconds[name] = creation
+        self._pinned_residency[name] = creation + sum(
+            phase.seconds for phase in function.phases
         )
         return function
 
@@ -100,30 +112,58 @@ class DHybridPlatform:
         function = self._functions.get(function_name)
         if function is None:
             raise KeyError(f"unknown function {function_name!r}")
-        return self.env.process(self._serve(function))
+        return self._serve(function)
 
-    def _serve(self, function: FunctionModel):
-        arrived_at = self.env.now
-        creation = self.backend.creation_seconds(self._binaries[function.name])
+    def _serve(self, function: FunctionModel) -> Event:
+        """Run one request as a callback chain over heap events.
+
+        Requests dominate every loaded baseline sweep, so instead of a
+        generator process per request (an extra initialization event,
+        a process-end event and a generator resume per step) the same
+        admission → creation → phases → release sequence is chained
+        through event callbacks.  Virtual-time behaviour is identical:
+        each callback is appended exactly where the process resume
+        callback used to sit.
+        """
+        env = self.env
+        completion = Event(env)
+        arrived_at = env.now
         admission = self._core_pool.request()
-        yield admission
-        try:
-            if self.pinned:
-                # The task owns its core outright: creation, compute and
-                # even I/O waits all elapse while holding the core.
-                yield self.env.timeout(creation)
-                for phase in function.phases:
-                    yield self.env.timeout(phase.seconds)
-            else:
-                yield self._cpu.consume(creation)
-                for phase in function.phases:
-                    if phase.kind == "compute":
-                        yield self._cpu.consume(phase.seconds)
-                    else:
-                        yield self.env.timeout(phase.seconds)
-        finally:
+
+        def finish():
             self._core_pool.release(admission)
-        record = RequestRecord(function.name, arrived_at, self.env.now, cold=True)
-        self.records.append(record)
-        self.latencies.record(record.latency)
-        return record
+            record = RequestRecord(function.name, arrived_at, env.now, cold=True)
+            self.records.append(record)
+            self.latencies.record(record.latency)
+            completion.succeed(record)
+
+        if self.pinned:
+            def start(_event=None):
+                # The task owns its core outright: creation, compute and
+                # even I/O waits all elapse while holding the core, so
+                # the whole residency is one pre-summed timeout.
+                timer = env.timeout(self._pinned_residency[function.name])
+                timer.callbacks.append(lambda _e: finish())
+        else:
+            phases = function.phases
+
+            def advance(index):
+                if index >= len(phases):
+                    finish()
+                    return
+                phase = phases[index]
+                if phase.kind == "compute":
+                    step = self._cpu.consume(phase.seconds)
+                else:
+                    step = env.timeout(phase.seconds)
+                step.callbacks.append(lambda _e, i=index + 1: advance(i))
+
+            def start(_event=None):
+                step = self._cpu.consume(self._creation_seconds[function.name])
+                step.callbacks.append(lambda _e: advance(0))
+
+        if admission._state == _PROCESSED:
+            start()
+        else:
+            admission.callbacks.append(start)
+        return completion

@@ -1,6 +1,13 @@
 """Data-plane primitives: items, sets, memory contexts, virtual FS."""
 
-from .context import PAGE_SIZE, ContextError, MemoryContext, parse_sets, serialize_sets
+from .context import (
+    PAGE_SIZE,
+    ContextError,
+    MemoryContext,
+    parse_sets,
+    serialize_sets,
+    serialized_size,
+)
 from .items import DataItem, DataSet, total_size
 from .vfs import VfsError, VirtualFile, VirtualFileSystem
 
@@ -10,6 +17,7 @@ __all__ = [
     "MemoryContext",
     "parse_sets",
     "serialize_sets",
+    "serialized_size",
     "DataItem",
     "DataSet",
     "total_size",

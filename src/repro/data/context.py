@@ -13,6 +13,16 @@ virtual memory for the context and uses demand paging to allocate
 zeroed pages as needed").  Committed bytes are what the Azure-trace
 memory experiments (Figs 1 and 10) account for.
 
+The data plane is *accounting-first*: :meth:`MemoryContext.store_sets`
+computes the exact serialized size via :func:`serialized_size` and
+records the store as pending, without building the blob.  Committed
+pages are derived from the logical extent, so the common dispatcher
+path (store inputs, store outputs, observe, free) costs O(names), not
+O(payload bytes).  Bytes are materialized lazily — cached in the
+backing buffer, in original store order — only when something actually
+reads the region (``read``/``load_sets``/``transfer_to``).  See
+docs/dataplane.md for the full cost model.
+
 Sets are serialised into the region with a small length-prefixed binary
 layout; :func:`parse_sets` is the strict ~100-line "function output
 parser" the security analysis in §8 talks about.
@@ -25,7 +35,14 @@ from typing import Iterable, Optional
 
 from .items import DataItem, DataSet
 
-__all__ = ["MemoryContext", "ContextError", "serialize_sets", "parse_sets", "PAGE_SIZE"]
+__all__ = [
+    "MemoryContext",
+    "ContextError",
+    "serialize_sets",
+    "serialized_size",
+    "parse_sets",
+    "PAGE_SIZE",
+]
 
 PAGE_SIZE = 4096
 
@@ -47,12 +64,17 @@ class ContextError(Exception):
 class MemoryContext:
     """A bounded, contiguous memory region owned by one function run."""
 
+    __slots__ = ("ident", "_capacity", "_buffer", "_extent", "_pending", "_freed")
+
     def __init__(self, capacity: int, ident: str = ""):
         if capacity <= 0:
             raise ContextError("context capacity must be positive")
         self.ident = ident
         self._capacity = int(capacity)
         self._buffer = bytearray()  # grows on demand, never beyond capacity
+        self._extent = 0  # logical high-water mark (committed accounting)
+        # Pending lazy stores: (offset, sets) tuples in store order.
+        self._pending: list[tuple[int, list[DataSet]]] = []
         self._freed = False
 
     # -- accounting -----------------------------------------------------
@@ -65,8 +87,10 @@ class MemoryContext:
     @property
     def committed(self) -> int:
         """Bytes of physical memory committed (page granularity)."""
-        pages = (len(self._buffer) + PAGE_SIZE - 1) // PAGE_SIZE
-        return pages * PAGE_SIZE if self._buffer else 0
+        extent = self._extent
+        if not extent:
+            return 0
+        return ((extent + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE
 
     @property
     def freed(self) -> bool:
@@ -75,6 +99,8 @@ class MemoryContext:
     def free(self) -> None:
         """Release the backing memory; further access is an error."""
         self._buffer = bytearray()
+        self._pending = []
+        self._extent = 0
         self._freed = True
 
     def _check_alive(self) -> None:
@@ -90,46 +116,98 @@ class MemoryContext:
             # Demand-"page in" zeroed memory.
             self._buffer.extend(b"\x00" * (end - len(self._buffer)))
 
+    def _materialize(self) -> None:
+        """Serialise pending lazy stores into the backing buffer.
+
+        Stores are applied in their original order, so a raw write that
+        happened after a lazy store keeps its bytes (raw writes drain
+        pending stores before touching the buffer).
+        """
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        for offset, sets in pending:
+            blob = serialize_sets(sets)
+            self._ensure(offset + len(blob))
+            self._buffer[offset : offset + len(blob)] = blob
+
     # -- raw access -------------------------------------------------------
 
-    def write(self, offset: int, data: bytes) -> None:
-        """Copy ``data`` into the region at ``offset``."""
+    def write(self, offset: int, data) -> None:
+        """Copy ``data`` (any bytes-like) into the region at ``offset``."""
         self._check_alive()
         if offset < 0:
             raise ContextError("negative offset")
-        self._ensure(offset + len(data))
-        self._buffer[offset : offset + len(data)] = data
+        self._materialize()
+        end = offset + len(data)
+        self._ensure(end)
+        self._buffer[offset:end] = data
+        if end > self._extent:
+            self._extent = end
 
     def read(self, offset: int, length: int) -> bytes:
         """Copy ``length`` bytes out of the region at ``offset``."""
+        return bytes(self.read_view(offset, length))
+
+    def read_view(self, offset: int, length: int) -> memoryview:
+        """Zero-copy view of ``length`` bytes at ``offset``.
+
+        The view aliases the backing buffer: it is valid until the next
+        write or :meth:`free`.  ``transfer_to`` uses it so a context-to-
+        context move costs one copy (into the destination) instead of
+        two.
+        """
         self._check_alive()
         if offset < 0 or length < 0:
             raise ContextError("negative offset or length")
         if offset + length > self._capacity:
             raise ContextError("read past end of context")
+        self._materialize()
         self._ensure(offset + length)
-        return bytes(self._buffer[offset : offset + length])
+        return memoryview(self._buffer)[offset : offset + length]
 
     def transfer_to(self, other: "MemoryContext", src_offset: int, dst_offset: int, length: int) -> None:
         """Copy a range of this context into another context.
 
         This is the specialised context-to-context transfer method the
         dispatcher uses to move function outputs to consumer inputs.
+        The source bytes are handed over as a memoryview, so the only
+        copy is the one into the destination's buffer.
         """
-        other.write(dst_offset, self.read(src_offset, length))
+        other.write(dst_offset, self.read_view(src_offset, length))
 
     # -- structured access ---------------------------------------------
 
     def store_sets(self, sets: Iterable[DataSet], offset: int = 0) -> int:
-        """Serialise ``sets`` into the region; returns bytes written."""
-        blob = serialize_sets(sets)
-        self.write(offset, blob)
-        return len(blob)
+        """Record ``sets`` as stored at ``offset``; returns encoded size.
+
+        Accounting-first: the committed extent grows by the exact
+        serialized size (computed without building the blob) and the
+        capacity check happens now, but the bytes themselves are only
+        materialized if the region is later read.
+        """
+        self._check_alive()
+        if offset < 0:
+            raise ContextError("negative offset")
+        if type(sets) is not list:
+            sets = list(sets)
+        size = serialized_size(sets)
+        end = offset + size
+        if end > self._capacity:
+            raise ContextError(
+                f"access at {end} exceeds context capacity {self._capacity}"
+            )
+        self._pending.append((offset, sets))
+        if end > self._extent:
+            self._extent = end
+        return size
 
     def load_sets(self, offset: int = 0) -> list[DataSet]:
         """Parse sets previously stored at ``offset``."""
         self._check_alive()
-        return parse_sets(bytes(self._buffer[offset:]))
+        self._materialize()
+        self._ensure(self._extent)
+        return parse_sets(memoryview(self._buffer)[offset:])
 
     def __repr__(self) -> str:
         state = "freed" if self._freed else f"{self.committed}B committed"
@@ -153,6 +231,44 @@ def serialize_sets(sets: Iterable[DataSet]) -> bytes:
     return b"".join(parts)
 
 
+def serialized_size(sets: Iterable[DataSet]) -> int:
+    """Exact ``len(serialize_sets(sets))`` without building the blob.
+
+    This is the accounting half of the data plane: the dispatcher uses
+    it to charge committed pages for a store without paying the copy.
+    A hypothesis property test pins it byte-for-byte to the eager
+    encoder, including the name-length validation.
+    """
+    size = _HEADER.size
+    for data_set in sets:
+        size += 8 + _name_length(data_set.ident)  # name + item count
+        wire = getattr(data_set, "_wire", None)
+        if wire is None:
+            # Per-item wire bytes: name, key, key flag, length, payload.
+            # Items are immutable and often shared across renamed sets,
+            # so the sum is cached on the set and reused at every
+            # downstream store (the chain hot path).
+            wire = 0
+            for item in data_set:
+                wire += 4 + _name_length(item.ident)
+                wire += 4 + _name_length(item.key if item.key is not None else "")
+                wire += 8 + len(item.data)  # key flag + payload length + payload
+            try:
+                data_set._wire = wire
+            except AttributeError:
+                pass  # plain iterables without the cache slot
+        size += wire
+    return size
+
+
+def _name_length(name: str) -> int:
+    """UTF-8 byte length of ``name``, with the encoder's length check."""
+    length = len(name) if name.isascii() else len(name.encode("utf-8"))
+    if length > _MAX_NAME_LENGTH:
+        raise ContextError(f"name longer than {_MAX_NAME_LENGTH} bytes")
+    return length
+
+
 def _encode_name(name: str) -> bytes:
     raw = name.encode("utf-8")
     if len(raw) > _MAX_NAME_LENGTH:
@@ -161,13 +277,15 @@ def _encode_name(name: str) -> bytes:
 
 
 class _Cursor:
-    """Bounds-checked reader over untrusted bytes."""
+    """Bounds-checked reader over untrusted bytes (or a memoryview)."""
 
-    def __init__(self, blob: bytes):
+    __slots__ = ("blob", "position")
+
+    def __init__(self, blob):
         self.blob = blob
         self.position = 0
 
-    def take(self, length: int) -> bytes:
+    def take(self, length: int):
         if length < 0 or self.position + length > len(self.blob):
             raise ContextError("truncated context data")
         chunk = self.blob[self.position : self.position + length]
@@ -183,7 +301,7 @@ class _Cursor:
             raise ContextError("name too long")
         raw = self.take(length)
         try:
-            text = raw.decode("utf-8")
+            text = bytes(raw).decode("utf-8")
         except UnicodeDecodeError as exc:
             raise ContextError("name is not valid UTF-8") from exc
         if not text and not allow_empty:
@@ -191,9 +309,11 @@ class _Cursor:
         return text
 
 
-def parse_sets(blob: bytes) -> list[DataSet]:
+def parse_sets(blob) -> list[DataSet]:
     """Strictly parse untrusted set data left behind by a function.
 
+    Accepts ``bytes`` or a ``memoryview`` (the zero-copy path from
+    :meth:`MemoryContext.load_sets`); only item payloads are copied out.
     Every length is validated before use; malformed or truncated data
     raises :class:`ContextError` rather than producing partial results.
     This is the reproduction's analogue of the 100-line Rust output
@@ -219,7 +339,7 @@ def parse_sets(blob: bytes) -> list[DataSet]:
             if has_key not in (0, 1):
                 raise ContextError("invalid key flag")
             payload_length = cursor.u32()
-            payload = cursor.take(payload_length)
+            payload = bytes(cursor.take(payload_length))
             key: Optional[str] = key_text if has_key else None
             data_set.add(DataItem(item_ident, payload, key=key))
         sets.append(data_set)

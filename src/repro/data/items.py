@@ -52,11 +52,17 @@ class DataSet:
     "output set X of function A becomes input set Y of function B".
     """
 
+    __slots__ = ("ident", "_items", "_index", "_wire")
+
     def __init__(self, ident: str, items: Iterable[DataItem] = ()):
         if not ident:
             raise ValueError("set ident must be non-empty")
         self.ident = ident
         self._items: list[DataItem] = []
+        self._index: dict[str, DataItem] = {}
+        # Cached per-item wire size (see context.serialized_size);
+        # invalidated whenever the item list changes.
+        self._wire: Optional[int] = None
         for item in items:
             self.add(item)
 
@@ -64,9 +70,33 @@ class DataSet:
         """Append an item (idents inside one set must be unique)."""
         if not isinstance(item, DataItem):
             raise TypeError(f"expected DataItem, got {type(item).__name__}")
-        if any(existing.ident == item.ident for existing in self._items):
+        if item.ident in self._index:
             raise ValueError(f"duplicate item ident {item.ident!r} in set {self.ident!r}")
+        self._index[item.ident] = item
         self._items.append(item)
+        self._wire = None
+
+    def __contains__(self, ident: str) -> bool:
+        """Whether an item with this ident is in the set (O(1))."""
+        return ident in self._index
+
+    @classmethod
+    def renamed(cls, source: "DataSet", ident: str) -> "DataSet":
+        """A set with ``source``'s items under a new name.
+
+        Items of an existing set are already validated and unique, so
+        this skips the per-item checks of the regular constructor.
+        """
+        if source.ident == ident:
+            return source
+        new = cls.__new__(cls)
+        if not ident:
+            raise ValueError("set ident must be non-empty")
+        new.ident = ident
+        new._items = list(source._items)
+        new._index = dict(source._index)
+        new._wire = source._wire
+        return new
 
     def __iter__(self) -> Iterator[DataItem]:
         return iter(self._items)
@@ -82,11 +112,11 @@ class DataSet:
         return list(self._items)
 
     def item(self, ident: str) -> DataItem:
-        """Look an item up by name."""
-        for candidate in self._items:
-            if candidate.ident == ident:
-                return candidate
-        raise KeyError(f"no item {ident!r} in set {self.ident!r}")
+        """Look an item up by name (O(1))."""
+        try:
+            return self._index[ident]
+        except KeyError:
+            raise KeyError(f"no item {ident!r} in set {self.ident!r}") from None
 
     @property
     def size(self) -> int:

@@ -83,8 +83,12 @@ class VirtualFileSystem:
         self._output_names = list(output_set_names)
         if len(set(self._output_names)) != len(self._output_names):
             raise VfsError("duplicate output set names")
-        # path -> (bytes, key)
+        # path -> (bytes, key); plus a per-set item-name index so
+        # listdir/collect_outputs avoid rescanning every written path.
         self._output_files: dict[str, tuple[bytes, Optional[str]]] = {}
+        self._outputs_by_set: dict[str, dict[str, str]] = {
+            name: {} for name in self._output_names
+        }
 
     # -- reading ----------------------------------------------------------
 
@@ -137,9 +141,19 @@ class VirtualFileSystem:
         return self.read_bytes(path).decode(encoding)
 
     def write_bytes(self, path: str, data: bytes, key: Optional[str] = None) -> None:
-        """Write a whole file in one call."""
-        with self.open(path, "wb", key=key) as handle:
-            handle.write(data)
+        """Write a whole file in one call.
+
+        Fast path for the common SDK idiom: validates the path like
+        ``open(..., "wb")`` would, then publishes directly without the
+        intermediate BytesIO buffer.
+        """
+        clean = _normalize(path)
+        root, set_name, _item = _split(clean)
+        if root != _OUT_ROOT:
+            raise VfsError(f"cannot write outside {_OUT_ROOT}: {path!r}")
+        if set_name not in self._output_names:
+            raise VfsError(f"{set_name!r} is not a declared output set")
+        self._publish(clean, bytes(data), key)
 
     def write_text(self, path: str, text: str, key: Optional[str] = None, encoding: str = "utf-8") -> None:
         self.write_bytes(path, text.encode(encoding), key=key)
@@ -163,12 +177,10 @@ class VirtualFileSystem:
                     raise VfsError(f"no directory {clean!r}")
                 return sorted(item.ident for item in data_set)
             if root == _OUT_ROOT:
-                if set_name not in self._output_names:
+                by_set = self._outputs_by_set.get(set_name)
+                if by_set is None:
                     raise VfsError(f"no directory {clean!r}")
-                prefix = f"{_OUT_ROOT}/{set_name}/"
-                return sorted(
-                    p[len(prefix):] for p in self._output_files if p.startswith(prefix)
-                )
+                return sorted(by_set)
         raise VfsError(f"no directory {clean!r}")
 
     def exists(self, path: str) -> bool:
@@ -186,6 +198,10 @@ class VirtualFileSystem:
 
     def _publish(self, path: str, data: bytes, key: Optional[str]) -> None:
         self._output_files[path] = (data, key)
+        _root, set_name, item_name = _split(path)
+        by_set = self._outputs_by_set.get(set_name)
+        if by_set is not None:
+            by_set[item_name] = path
 
     def collect_outputs(self) -> list[DataSet]:
         """Build the function's output sets from files written to /out.
@@ -198,11 +214,10 @@ class VirtualFileSystem:
         outputs: list[DataSet] = []
         for set_name in self._output_names:
             data_set = DataSet(set_name)
-            prefix = f"{_OUT_ROOT}/{set_name}/"
-            for path in sorted(self._output_files):
-                if path.startswith(prefix):
-                    data, key = self._output_files[path]
-                    data_set.add(DataItem(path[len(prefix):], data, key=key))
+            by_set = self._outputs_by_set[set_name]
+            for item_name in sorted(by_set):
+                data, key = self._output_files[by_set[item_name]]
+                data_set.add(DataItem(item_name, data, key=key))
             outputs.append(data_set)
         return outputs
 

@@ -32,10 +32,10 @@ from ..composition.graph import (
     Distribution,
 )
 from ..composition.registry import Registry
-from ..data.context import MemoryContext
+from ..data.context import ContextError, MemoryContext
 from ..data.items import DataSet
 from ..engines.group import EngineGroup
-from ..engines.task import COMMUNICATION, COMPUTE, Task
+from ..engines.task import COMPUTE, Task
 from ..errors import InvocationError
 from ..sim.core import Environment
 from .expansion import expand_instances, merge_instance_outputs
@@ -54,6 +54,49 @@ class NodeFailure:
 
     node_name: str
     error: BaseException
+
+
+class _NodeStep:
+    """Static per-node execution facts, resolved once per composition.
+
+    Node structure never changes after registration, so the dispatcher
+    compiles each node's hot-path constants — resolved binary, context
+    capacity, set-name order, outgoing edges, target engine group —
+    instead of re-deriving them on every invocation.
+    """
+
+    __slots__ = (
+        "node",
+        "kind",
+        "binary",
+        "capacity",
+        "group",
+        "input_names",
+        "output_names",
+        "protocol",
+        "bound",
+        "edges_out",
+    )
+
+    def __init__(self, dispatcher: "Dispatcher", composition, node, bound: bool):
+        self.node = node
+        self.kind = node.kind
+        if node.kind == COMPUTE:
+            self.binary = dispatcher.registry.function(node.function)
+            self.capacity = self.binary.memory_limit
+            self.group = dispatcher.compute_group
+        else:
+            self.binary = None
+            self.capacity = _COMM_CONTEXT_CAPACITY
+            self.group = dispatcher.comm_group
+        self.input_names = list(node.input_sets)
+        self.output_names = list(node.output_sets)
+        self.protocol = getattr(node, "protocol", "http")
+        self.bound = bound
+        self.edges_out = [
+            (edge.target, edge.target_set, edge.distribution, edge.source_set)
+            for edge in composition.outgoing_edges(node.name)
+        ]
 
 
 @dataclass
@@ -118,6 +161,9 @@ class Dispatcher:
         self.max_retries = max_retries
         self.default_timeout = default_timeout
         self._warm_binaries: set[str] = set()
+        # Composition id -> (composition, serial node order or None);
+        # see _serial_nodes.
+        self._serial_cache: dict[int, tuple] = {}
         self._invocation_ids = itertools.count()
         self.invocations_started = 0
         self.invocations_completed = 0
@@ -158,6 +204,15 @@ class Dispatcher:
                 f"got {sorted(provided)}"
             )
 
+        chain, steps = self._compile(composition)
+        if chain is not None:
+            # Chain-shaped composition (every node's sole successor is
+            # the next node): the event-driven schedule is provably
+            # sequential, so run the nodes inline without the
+            # delivery/consumed/output event machinery.
+            outputs = yield from self._run_serial(composition, inputs, invocation_id, chain)
+            return outputs
+
         # One delivery event per (node, input set); values are
         # (Distribution, DataSet-or-NodeFailure).
         deliveries: dict[tuple[str, str], object] = {
@@ -180,6 +235,7 @@ class Dispatcher:
             consumed=consumed,
             output_events=output_events,
             invocation_id=invocation_id,
+            steps=steps,
         )
 
         for node in composition.nodes.values():
@@ -189,7 +245,7 @@ class Dispatcher:
         for binding in composition.inputs:
             data = inputs[binding.external]
             deliveries[(binding.node, binding.node_set)].succeed(
-                (Distribution.ALL, DataSet(binding.node_set, data.items))
+                (Distribution.ALL, DataSet.renamed(data, binding.node_set))
             )
 
         gathered = yield self.env.all_of(list(output_events.values()))
@@ -200,12 +256,174 @@ class Dispatcher:
             if isinstance(value, NodeFailure):
                 failure = value
             else:
-                outputs[binding.external] = DataSet(binding.external, value.items)
+                outputs[binding.external] = DataSet.renamed(value, binding.external)
         if failure is not None:
             raise InvocationError(
                 f"node {failure.node_name!r} failed: {failure.error}"
             )
         return outputs
+
+    # -- serial (chain) execution ---------------------------------------------
+
+    def _compile(self, composition: Composition):
+        """Per-composition execution plan: ``(chain_steps, steps_by_name)``.
+
+        Every node gets a :class:`_NodeStep` with its static execution
+        facts resolved once — function binary, context capacity, input/
+        output set order, outgoing edges, engine group — so the per-
+        invocation hot path does no registry lookups or edge scans.
+
+        ``chain_steps`` is the topological step order when the
+        composition is a *chain* (every node's outgoing edges all target
+        the next node and every node's incoming edges all come from the
+        previous one), else ``None``.  Under the event-driven schedule a
+        chain runs strictly sequentially (node ``k+1`` cannot start
+        before node ``k`` finishes), so the serial runner below produces
+        identical virtual-time behaviour with none of the per-node event
+        plumbing.  The plan is structural, so it is cached per
+        composition object (registrations are immutable: the registry
+        rejects re-registration under an existing name).
+        """
+        cached = self._serial_cache.get(id(composition))
+        if cached is not None and cached[0] is composition:
+            return cached[1], cached[2]
+        bound_nodes = {binding.node for binding in composition.outputs}
+        steps_by_name = {
+            name: _NodeStep(self, composition, node, name in bound_nodes)
+            for name, node in composition.nodes.items()
+        }
+        order = composition.topological_order
+        chain = [steps_by_name[name] for name in order]
+        for index in range(len(order) - 1):
+            current, successor = order[index], order[index + 1]
+            outgoing = composition.outgoing_edges(current)
+            if not outgoing or any(edge.target != successor for edge in outgoing):
+                chain = None
+                break
+            if any(
+                edge.source != current
+                for edge in composition.incoming_edges(successor)
+            ):
+                chain = None
+                break
+        self._serial_cache[id(composition)] = (composition, chain, steps_by_name)
+        return chain, steps_by_name
+
+    def _run_serial(self, composition, inputs, invocation_id, chain):
+        """Run a chain composition node by node in this process.
+
+        Timing-equivalent to the general event-driven path: instances
+        run through the same ``_run_task_core``; a producer's contexts
+        are released via a zero-delay timer scheduled when its
+        successor launches (matching the consumed-event hop of the
+        general path), and contexts of nodes with output bindings are
+        held until the composition completes.
+        """
+        env = self.env
+        delivered: dict[str, dict] = {name: {} for name in composition.nodes}
+        for binding in composition.inputs:
+            delivered[binding.node][binding.node_set] = (
+                Distribution.ALL,
+                DataSet.renamed(inputs[binding.external], binding.node_set),
+            )
+        node_outputs: dict[str, dict] = {}
+        held: list[MemoryContext] = []     # freed when the composition completes
+        pending: list[MemoryContext] = []  # previous node's, freed at successor launch
+        failure: Optional[NodeFailure] = None
+        for step in chain:
+            node_name = step.node.name
+            node_deliveries = delivered[node_name]
+            triples = [
+                (set_name, *node_deliveries[set_name])
+                for set_name in step.input_names
+            ]
+            try:
+                plans = expand_instances(node_name, triples)
+            except InvocationError as exc:
+                failure = NodeFailure(node_name, exc)
+                break
+            if len(plans) == 1:
+                if pending:
+                    self._schedule_release(pending)
+                    pending = []
+                results = [
+                    (yield from self._run_instance_serial(step, plans[0], invocation_id))
+                ]
+            else:
+                processes = [
+                    env.process(self._run_instance_serial(step, plan, invocation_id))
+                    for plan in plans
+                ]
+                if pending:
+                    self._schedule_release(pending)
+                    pending = []
+                yield env.all_of(processes)
+                results = [process.value for process in processes]
+            failure = next(
+                (value for value, _ctx in results if isinstance(value, NodeFailure)),
+                None,
+            )
+            if failure is not None:
+                # Failed instances released their context already;
+                # successful siblings' contexts are consumed by the
+                # failure propagation, as in the general path.
+                pending.extend(ctx for _v, ctx in results if ctx is not None)
+                break
+            merged = merge_instance_outputs(
+                step.output_names, [value for value, _ctx in results]
+            )
+            node_outputs[node_name] = merged
+            pending = [ctx for _v, ctx in results if ctx is not None]
+            if step.bound:
+                # Output bindings are only delivered when the whole
+                # composition finishes, so these contexts stay live.
+                held.extend(pending)
+                pending = []
+            for target, target_set, distribution, source_set in step.edges_out:
+                delivered[target][target_set] = (
+                    distribution,
+                    DataSet.renamed(merged[source_set], target_set),
+                )
+        if failure is not None:
+            if pending:
+                held.extend(pending)
+            if held:
+                self._schedule_release(held)
+            raise InvocationError(
+                f"node {failure.node_name!r} failed: {failure.error}"
+            )
+        held.extend(pending)
+        if held:
+            self._schedule_release(held)
+        outputs: dict[str, DataSet] = {}
+        for binding in composition.outputs:
+            outputs[binding.external] = DataSet.renamed(
+                node_outputs[binding.node][binding.node_set], binding.external
+            )
+        return outputs
+
+    def _run_instance_serial(self, step, plan, invocation_id):
+        """Like :meth:`_run_instance` but returns ``(value, context)``
+        so the serial runner controls context freeing."""
+        if step.kind == "composition":
+            result = yield from self._run_nested(step.node, plan, invocation_id)
+            return result, None
+        result = yield from self._run_task_core(invocation_id, step, plan)
+        return result
+
+    def _schedule_release(self, contexts) -> None:
+        """Release ``contexts`` one event-heap hop from now.
+
+        Mirrors the general path, where a producer's free condition
+        fires in a heap step at the same virtual time as consumption.
+        """
+        contexts = list(contexts)
+
+        def _release(_event, release=self._release_context, contexts=contexts):
+            for context in contexts:
+                release(context)
+
+        self.env.timeout(0.0).callbacks.append(_release)
 
     def _run_node(self, state: "_CompositionRun", node):
         """Process executing one node of a composition run."""
@@ -234,15 +452,22 @@ class Dispatcher:
             self._propagate(state, node, failure=NodeFailure(node.name, exc))
             return
 
-        instance_processes = [
-            self.env.process(self._run_instance(state, node, plan)) for plan in plans
-        ]
-        # Inputs are now copied into instance contexts; upstream
-        # producers may free theirs.
-        self._mark_consumed(state, node)
+        if len(plans) == 1:
+            # Fast path: a single instance needs no fan-out bookkeeping,
+            # so run it inline in this process instead of spawning one.
+            self._mark_consumed(state, node)
+            value = yield from self._run_instance(state, node, plans[0])
+            per_instance = [value]
+        else:
+            instance_processes = [
+                self.env.process(self._run_instance(state, node, plan)) for plan in plans
+            ]
+            # Inputs are now copied into instance contexts; upstream
+            # producers may free theirs.
+            self._mark_consumed(state, node)
 
-        gathered = yield self.env.all_of(instance_processes)
-        per_instance = [process.value for process in instance_processes]
+            gathered = yield self.env.all_of(instance_processes)
+            per_instance = [process.value for process in instance_processes]
         failure = next(
             (value for value in per_instance if isinstance(value, NodeFailure)), None
         )
@@ -262,8 +487,8 @@ class Dispatcher:
         """Deliver a node's outputs (or failure) downstream and to bindings."""
         composition = state.composition
         for edge in composition.outgoing_edges(node.name):
-            payload = failure if failure is not None else DataSet(
-                edge.target_set, outputs[edge.source_set].items
+            payload = failure if failure is not None else DataSet.renamed(
+                outputs[edge.source_set], edge.target_set
             )
             state.deliveries[(edge.target, edge.target_set)].succeed(
                 (edge.distribution, payload)
@@ -278,39 +503,43 @@ class Dispatcher:
     def _run_instance(self, state, node, plan):
         """Process executing one instance; returns outputs or NodeFailure."""
         if node.kind == "composition":
-            result = yield from self._run_nested(state, node, plan)
+            result = yield from self._run_nested(node, plan, state.invocation_id)
             return result
-        if node.kind == "communication":
-            result = yield from self._run_task(
-                state, node, plan, kind=COMMUNICATION, binary=None
-            )
-            return result
-        binary = self.registry.function(node.function)
-        result = yield from self._run_task(state, node, plan, kind=COMPUTE, binary=binary)
+        result = yield from self._run_task(state, node, plan)
         return result
 
-    def _run_nested(self, state, node: CompositionNode, plan):
+    def _run_nested(self, node: CompositionNode, plan, invocation_id):
         inputs = {
             data_set.ident: data_set for data_set in plan.input_sets
         }
         try:
             outputs = yield from self._run_composition(
-                node.composition, inputs, state.invocation_id
+                node.composition, inputs, invocation_id
             )
         except InvocationError as exc:
             return NodeFailure(node.name, exc)
-        return [DataSet(name, outputs[name].items) for name in node.output_sets]
+        return [DataSet.renamed(outputs[name], name) for name in node.output_sets]
 
-    def _run_task(self, state, node, plan, kind: str, binary):
-        """Run one engine task with context lifecycle and retries."""
-        if kind == COMPUTE:
-            capacity = binary.memory_limit
-            output_names = list(node.output_sets)
-        else:
-            capacity = _COMM_CONTEXT_CAPACITY
-            output_names = list(node.output_sets)
+    def _run_task(self, state, node, plan):
+        """Run one engine task (general path: freeing via consumed events)."""
+        value, context = yield from self._run_task_core(
+            state.invocation_id, state.steps[node.name], plan
+        )
+        if context is not None:
+            self._free_after_consumption(state, node, context)
+        return value
+
+    def _run_task_core(self, invocation_id, step, plan):
+        """Run one engine task with context lifecycle and retries.
+
+        Returns ``(outputs_or_failure, context)``; the context is
+        ``None`` when the task failed (it is already released).  The
+        caller arranges when the returned context is freed.
+        """
+        node_name = step.node.name
+        binary = step.binary
         context = MemoryContext(
-            capacity, ident=f"inv{state.invocation_id}/{node.name}[{plan.index}]"
+            step.capacity, ident=f"inv{invocation_id}/{node_name}[{plan.index}]"
         )
         zero_copy = self.data_passing == "remap"
         if not zero_copy:
@@ -318,47 +547,60 @@ class Dispatcher:
             context.store_sets(plan.input_sets)
         self.memory.observe(context)
 
+        group = step.group
+        task = Task(
+            kind=step.kind,
+            input_sets=plan.input_sets,
+            output_set_names=step.output_names,
+            completion=self.env.event(),
+            context=context,
+            binary=binary,
+            cached=self._binary_cached(binary) if binary is not None else False,
+            zero_copy=zero_copy,
+            protocol=step.protocol,
+            timeout=self.default_timeout,
+            invocation_id=invocation_id,
+            node_name=node_name,
+            instance_index=plan.index,
+        )
         attempts = 0
         while True:
-            task = Task(
-                kind=kind,
-                input_sets=plan.input_sets,
-                output_set_names=output_names,
-                completion=self.env.event(),
-                context=context,
-                binary=binary,
-                cached=self._binary_cached(binary) if binary is not None else False,
-                zero_copy=zero_copy,
-                protocol=getattr(node, "protocol", "http"),
-                timeout=self.default_timeout,
-                invocation_id=state.invocation_id,
-                node_name=node.name,
-                instance_index=plan.index,
-            )
-            group = self.compute_group if kind == COMPUTE else self.comm_group
             group.submit(task)
             outcome = yield task.completion
             if outcome.success:
                 break
             if outcome.transient and attempts < self.max_retries:
                 attempts += 1
+                # Retry the same task with fresh per-attempt state: a
+                # new completion event and a re-drawn cache outcome
+                # (identical rng stream to rebuilding the task).
+                task.completion = self.env.event()
+                if binary is not None:
+                    task.cached = self._binary_cached(binary)
                 continue
             self._release_context(context)
-            return NodeFailure(node.name, outcome.error)
+            return NodeFailure(node_name, outcome.error), None
 
         # Outputs live in the instance's context until consumers have
         # copied them out.
         try:
             context.store_sets(outcome.outputs, offset=context.committed)
-        except Exception:
+        except ContextError:
             # Outputs exceeding the reservation only affect accounting
-            # granularity, never the data itself.
+            # granularity, never the data itself.  Anything other than
+            # a capacity/encoding ContextError is a programming error
+            # and must propagate.
             pass
         self.memory.observe(context)
-        self.env.process(self._free_after_consumption(state, node, context))
-        return outcome.outputs
+        return outcome.outputs, context
 
-    def _free_after_consumption(self, state, node, context: MemoryContext):
+    def _free_after_consumption(self, state, node, context: MemoryContext) -> None:
+        """Arrange for ``context`` to be freed once consumers are done.
+
+        Registered as a callback on the consumed/output events rather
+        than as a generator process: per instance this saves one
+        process object plus its initialize/resume event churn.
+        """
         composition = state.composition
         waits = [
             state.consumed[(edge.target, edge.target_set)]
@@ -367,9 +609,12 @@ class Dispatcher:
         for binding in composition.outputs:
             if binding.node == node.name:
                 waits.append(state.output_events[binding.external])
-        if waits:
-            yield self.env.all_of(waits)
-        self._release_context(context)
+        if not waits:
+            self._release_context(context)
+            return
+        self.env.all_of(waits).callbacks.append(
+            lambda _event: self._release_context(context)
+        )
 
     def _release_context(self, context: MemoryContext) -> None:
         context.free()
@@ -412,3 +657,4 @@ class _CompositionRun:
     consumed: dict
     output_events: dict
     invocation_id: int
+    steps: dict

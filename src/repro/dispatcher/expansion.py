@@ -24,13 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..composition.graph import Distribution
-from ..data.items import DataSet
+from ..data.items import DataItem, DataSet
 from ..errors import InvocationError
 
 __all__ = ["InstancePlan", "expand_instances"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstancePlan:
     """Input sets for one instance of a node."""
 
@@ -49,6 +49,19 @@ def expand_instances(
     triple per incoming edge / composition input (composition inputs
     use ``all``).
     """
+    for _name, dist, _data in deliveries:
+        if dist is not Distribution.ALL:
+            break
+    else:
+        # All edges broadcast (the overwhelmingly common case): one
+        # instance receiving every delivered set under its input name.
+        return [
+            InstancePlan(
+                index=0,
+                input_sets=[_renamed(data, name) for name, _dist, data in deliveries],
+            )
+        ]
+
     broadcast = [(name, data) for name, dist, data in deliveries if dist is Distribution.ALL]
     each = [(name, data) for name, dist, data in deliveries if dist is Distribution.EACH]
     keyed = [(name, data) for name, dist, data in deliveries if dist is Distribution.KEY]
@@ -101,9 +114,7 @@ def expand_instances(
 
 def _renamed(data: DataSet, name: str) -> DataSet:
     """The delivered set under the consumer's input-set name."""
-    if data.ident == name:
-        return data
-    return DataSet(name, data.items)
+    return DataSet.renamed(data, name)
 
 
 def merge_instance_outputs(
@@ -114,9 +125,17 @@ def merge_instance_outputs(
 
     Item-name collisions across instances (each instance writing, say,
     ``result``) are disambiguated with an instance-index prefix so the
-    merged set remains well-formed.
+    merged set remains well-formed.  Collision checks use the target
+    set's ident index, so merging is linear in the total item count.
     """
-    from ..data.items import DataItem
+    if len(per_instance_outputs) == 1:
+        # Single instance (the overwhelmingly common case): no
+        # cross-instance collisions are possible, so reuse its output
+        # sets directly instead of re-adding every item.
+        produced = {data_set.ident: data_set for data_set in per_instance_outputs[0]}
+        return {
+            name: produced.get(name) or DataSet(name) for name in output_set_names
+        }
 
     merged: dict[str, DataSet] = {name: DataSet(name) for name in output_set_names}
     for instance_index, outputs in enumerate(per_instance_outputs):
@@ -125,8 +144,10 @@ def merge_instance_outputs(
             if target is None:
                 continue
             for item in data_set:
-                ident = item.ident
-                if any(existing.ident == ident for existing in target):
-                    ident = f"i{instance_index}.{item.ident}"
-                target.add(DataItem(ident, item.data, key=item.key))
+                if item.ident in target:
+                    target.add(
+                        DataItem(f"i{instance_index}.{item.ident}", item.data, key=item.key)
+                    )
+                else:
+                    target.add(item)
     return merged

@@ -45,9 +45,11 @@ class MemoryTracker:
             self._record(-previous)
 
     def _record(self, delta: int) -> None:
-        self.current_bytes += delta
-        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
-        self.series.record(self.env.now, self.current_bytes)
+        current = self.current_bytes + delta
+        self.current_bytes = current
+        if current > self.peak_bytes:
+            self.peak_bytes = current
+        self.series.record(self.env.now, current)
 
     @property
     def live_context_count(self) -> int:

@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..backends.base import IsolationBackend
 from ..errors import FunctionFailure, FunctionTimeout, MemoryLimitExceeded
+from ..functions.purity import purity_guard
 from ..sim.core import Environment
 from ..sim.resources import Store
 from .task import Task, TaskOutcome
@@ -38,6 +39,7 @@ class ComputeEngine:
         name: str = "compute-engine",
         failure_rng=None,
         transient_failure_rate: float = 0.0,
+        batch_guard: bool = False,
     ):
         self.env = env
         self.queue = queue
@@ -48,19 +50,41 @@ class ComputeEngine:
         self.stopped = env.event()
         self._failure_rng = failure_rng
         self._transient_failure_rate = transient_failure_rate
+        # Engine-scoped purity guard: hold the (re-entrant) guard for
+        # the engine's whole lifetime so each compute run's own guard
+        # is a counter bump instead of the patch/unpatch loop.  Only
+        # safe when nothing else in the program performs blocked
+        # operations (open/sockets/...) while the simulation runs, so
+        # it is opt-in.
+        self._batch_guard = batch_guard
         self.process = env.process(self._run())
 
     def _run(self):
-        while True:
-            task = yield self.queue.get()
-            if task is SHUTDOWN:
-                break
-            outcome = self._execute(task)
-            if outcome.service_seconds > 0:
-                yield self.env.timeout(outcome.service_seconds)
-            self.busy_seconds += outcome.service_seconds
-            self.tasks_executed += 1
-            task.completion.succeed(outcome)
+        guard = purity_guard() if self._batch_guard else None
+        if guard is not None:
+            guard.__enter__()
+        try:
+            while True:
+                task = yield self.queue.get()
+                if task is SHUTDOWN:
+                    break
+                outcome = self._execute(task)
+                service = outcome.service_seconds
+                if service > 0:
+                    # Fire the completion directly at now + service and
+                    # stay busy by waiting on it — one event instead of
+                    # a Timeout followed by an immediate succeed.
+                    task.completion.succeed(outcome, delay=service)
+                    yield task.completion
+                    self.busy_seconds += service
+                    self.tasks_executed += 1
+                else:
+                    self.busy_seconds += service
+                    self.tasks_executed += 1
+                    task.completion.succeed(outcome)
+        finally:
+            if guard is not None:
+                guard.__exit__(None, None, None)
         self.stopped.succeed(self.name)
 
     def _execute(self, task: Task) -> TaskOutcome:

@@ -24,7 +24,7 @@ COMMUNICATION = "communication"
 _task_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskOutcome:
     """What an engine reports back for one task."""
 
@@ -36,7 +36,7 @@ class TaskOutcome:
     transient: bool = False           # retryable (engine-level) failure
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """One function instance ready for execution.
 

@@ -2,9 +2,12 @@
 
 Times the hot paths every experiment flows through — raw event
 scheduling, the virtual-time processor-sharing CPU, process chains —
-plus a reduced Fig 5 sweep as an end-to-end proxy, and writes the
-numbers to ``BENCH_sim_kernel.json`` so future changes have a
-trajectory to regress against.
+plus the dispatcher data plane (accounting-first ``store_sets``,
+zero-copy ``transfer_to``, the strict output parser, and the
+end-to-end sim-step cost of one dispatcher invocation, grouped under
+``dispatcher_data_plane``) and a reduced Fig 5 sweep as an end-to-end
+proxy.  The numbers land in ``BENCH_sim_kernel.json`` so future
+changes have a trajectory to regress against.
 
 The JSON also carries the recorded before/after wall-clock of the full
 ``run_fig05()`` sweep across the virtual-time PS rewrite (the O(n)
@@ -101,6 +104,127 @@ def bench_ps_cpu_loaded(jobs: int = 20_000, cores: int = 4) -> int:
     return jobs
 
 
+def bench_store_sets(count: int = 50_000) -> dict:
+    """Accounting-first store throughput: N stores into fresh contexts.
+
+    Each iteration charges a context for a two-set payload without
+    materializing the blob — the dispatcher's per-invocation hot path.
+    """
+    from ..data.context import MemoryContext, serialized_size
+    from ..data.items import DataItem, DataSet
+
+    sets = [
+        DataSet("input", [DataItem("request", b"x" * 512)]),
+        DataSet("config", [DataItem(f"k{i}", b"y" * 64) for i in range(8)]),
+    ]
+    size = serialized_size(sets)
+    start = time.perf_counter()
+    for _ in range(count):
+        context = MemoryContext(capacity=1 << 20)
+        context.store_sets(sets)
+        context.free()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "operations": count,
+        "ops_per_second": round(count / elapsed) if elapsed > 0 else None,
+        "bytes_per_op": size,
+        "accounted_bytes_per_second": round(count * size / elapsed) if elapsed > 0 else None,
+    }
+
+
+def bench_transfer_to(count: int = 20_000, payload: int = 64 * 1024) -> dict:
+    """Context-to-context moves via the zero-copy read view.
+
+    The source materializes once; every transfer then costs one copy
+    into the destination (memoryview source), so throughput should sit
+    near memcpy speed rather than half of it.
+    """
+    from ..data.context import MemoryContext
+
+    source = MemoryContext(capacity=payload * 2)
+    source.write(0, b"z" * payload)
+    destination = MemoryContext(capacity=payload * 2)
+    start = time.perf_counter()
+    for _ in range(count):
+        source.transfer_to(destination, 0, 0, payload)
+    elapsed = time.perf_counter() - start
+    moved = count * payload
+    return {
+        "seconds": round(elapsed, 4),
+        "operations": count,
+        "bytes_per_op": payload,
+        "bytes_per_second": round(moved / elapsed) if elapsed > 0 else None,
+    }
+
+
+def bench_parse_sets(count: int = 20_000) -> dict:
+    """Strict output-parser throughput over a representative blob."""
+    from ..data.context import parse_sets, serialize_sets
+    from ..data.items import DataItem, DataSet
+
+    blob = serialize_sets(
+        [
+            DataSet(
+                "response",
+                [DataItem(f"item{i}", b"p" * 256, key=f"key{i % 4}") for i in range(16)],
+            )
+        ]
+    )
+    start = time.perf_counter()
+    for _ in range(count):
+        parse_sets(blob)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "operations": count,
+        "bytes_per_op": len(blob),
+        "bytes_per_second": round(count * len(blob) / elapsed) if elapsed > 0 else None,
+    }
+
+
+def bench_dispatcher_single_request(count: int = 500) -> dict:
+    """End-to-end dispatcher cost of one single-node invocation.
+
+    Reports wall-clock *and* simulation steps (scheduled events) per
+    invocation — the sim-step count is deterministic, so it regresses
+    loudly when the per-invocation fast path picks up extra event churn.
+    """
+    from ..functions import compute_function
+    from ..worker import WorkerConfig, WorkerNode
+
+    @compute_function(compute_cost=1e-5, name="bench_echo")
+    def bench_echo(vfs):
+        data = vfs.read_bytes("/in/input/request")
+        vfs.write_bytes("/out/result/reply", data)
+
+    worker = WorkerNode(WorkerConfig(total_cores=2, control_plane_enabled=False))
+    worker.frontend.register_function(bench_echo)
+    worker.frontend.register_composition(
+        """
+        composition bench_single {
+            compute echo uses bench_echo in(input) out(result);
+            input input -> echo.input;
+            output echo.result -> result;
+        }
+        """
+    )
+    # Warm one invocation so registry/plan compilation is out of the loop.
+    worker.invoke_and_run("bench_single", {"input": b"ping"})
+    steps_before = worker.env._seq
+    start = time.perf_counter()
+    for _ in range(count):
+        worker.invoke_and_run("bench_single", {"input": b"ping"})
+    elapsed = time.perf_counter() - start
+    steps = worker.env._seq - steps_before
+    return {
+        "seconds": round(elapsed, 4),
+        "operations": count,
+        "ops_per_second": round(count / elapsed) if elapsed > 0 else None,
+        "sim_steps_per_invocation": round(steps / count, 1),
+    }
+
+
 def bench_fig05_reduced() -> float:
     """End-to-end proxy: 3 systems × 3 rates, 0.2 s duration."""
     from .fig05_creation_throughput import run_fig05
@@ -128,6 +252,12 @@ def run_bench(full: bool = False, output: str | None = DEFAULT_OUTPUT) -> dict:
         "timeout_churn_200k": _timed(bench_timeout_churn),
         "process_spawn_50k": _timed(bench_process_spawn),
         "ps_cpu_loaded_20k_jobs_4_cores": _timed(bench_ps_cpu_loaded),
+        "dispatcher_data_plane": {
+            "store_sets_50k": bench_store_sets(),
+            "transfer_to_20k_64KiB": bench_transfer_to(),
+            "parse_sets_20k": bench_parse_sets(),
+            "dispatcher_single_request_500": bench_dispatcher_single_request(),
+        },
         "fig05_reduced": {"seconds": round(bench_fig05_reduced(), 4)},
     }
     if full:

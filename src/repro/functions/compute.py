@@ -36,14 +36,19 @@ def run_compute_function(
     binary: FunctionBinary,
     input_sets: list[DataSet],
     output_set_names: list[str],
+    input_bytes: "int | None" = None,
 ) -> ComputeResult:
     """Execute ``binary`` over ``input_sets``, producing declared outputs.
+
+    ``input_bytes`` lets a caller that already summed the input payloads
+    (the isolation backends do, for the cost model) skip the recount.
 
     Raises :class:`FunctionFailure` if the user code raises (including
     attempts at blocked syscalls), :class:`MemoryLimitExceeded` if input
     plus output data do not fit the declared context size.
     """
-    input_bytes = total_size(input_sets)
+    if input_bytes is None:
+        input_bytes = total_size(input_sets)
     if input_bytes > binary.memory_limit:
         raise MemoryLimitExceeded(
             f"{binary.name}: inputs of {input_bytes} bytes exceed the "

@@ -16,6 +16,16 @@ that raise :class:`~repro.errors.SyscallBlocked`.  The harness converts
 that into a reported function failure, matching the prototype's
 "terminate and notify the user" behaviour.
 
+Entering the guard is O(1): the stub table is built once at import, so
+enter/exit reduce to a fixed getattr/setattr loop over ~15 entries
+(originals are captured at enter time, keeping monkeypatching in tests
+well-behaved).  The guard is re-entrant with depth counting, which also
+gives an *engine-scoped* mode for free: wrap a batch of compute runs in
+one outer ``purity_guard()`` and every inner per-function guard costs
+only a counter increment — the setattr loop is paid once per batch.
+:class:`~repro.engines.compute_engine.ComputeEngine` exposes this as
+its ``batch_guard`` option.
+
 This is an in-process guard, not a hardware boundary: the real system
 gets memory isolation from KVM/CHERI/processes/rWasm.  What the guard
 preserves is the *programming-model* contract that the execution system
@@ -31,7 +41,6 @@ import os
 import socket
 import subprocess
 import threading
-from contextlib import contextmanager
 
 from ..errors import SyscallBlocked
 
@@ -69,37 +78,54 @@ def _make_stub(operation_name: str):
     return stub
 
 
+# Built once at import: (holder, attribute, stub) per blocked operation.
+_STUB_TABLE = [
+    (holder, attribute, _make_stub(operation_name))
+    for operation_name, holder, attribute in PURITY_BLOCKED_OPERATIONS
+]
+
 _guard_depth = 0
+# Originals saved by the outermost enter: (holder, attribute, original).
+_saved: list[tuple[object, str, object]] = []
 
 
-@contextmanager
-def purity_guard():
+class _PurityGuard:
+    """Re-entrant context manager installing the import-time stub table.
+
+    Only the outermost enter/exit touch the patched attributes; nested
+    guards just move the depth counter, so holding an outer guard makes
+    every inner one O(1) with no setattr work at all.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_PurityGuard":
+        global _guard_depth
+        _guard_depth += 1
+        if _guard_depth == 1:
+            for holder, attribute, stub in _STUB_TABLE:
+                _saved.append((holder, attribute, getattr(holder, attribute)))
+                setattr(holder, attribute, stub)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _guard_depth
+        _guard_depth -= 1
+        if _guard_depth == 0 and _saved:
+            for holder, attribute, original in _saved:
+                setattr(holder, attribute, original)
+            _saved.clear()
+
+
+_GUARD = _PurityGuard()
+
+
+def purity_guard() -> _PurityGuard:
     """Context manager blocking syscall-like operations.
 
     Re-entrant: nested guards keep the stubs installed until the
-    outermost guard exits, then restore the originals.
+    outermost guard exits, then restore the originals (captured at the
+    outermost enter, so attribute patches made before entering are
+    restored faithfully).
     """
-    global _guard_depth
-    saved: list[tuple[object, str, object]] = []
-    _guard_depth += 1
-    try:
-        if _guard_depth == 1:
-            for operation_name, holder, attribute in PURITY_BLOCKED_OPERATIONS:
-                saved.append((holder, attribute, getattr(holder, attribute)))
-                setattr(holder, attribute, _make_stub(operation_name))
-        yield
-    finally:
-        _guard_depth -= 1
-        if _guard_depth == 0 and saved:
-            for holder, attribute, original in saved:
-                setattr(holder, attribute, original)
-        elif _guard_depth == 0:
-            # Outermost guard exited but installed nothing (should not
-            # happen); restore is a no-op.
-            pass
-
-
-# When depth > 1 the inner guard saved nothing, so restoration happens
-# exactly once, at the outermost exit.  The module keeps the saved list
-# local to each guard invocation; only the outermost has a non-empty
-# one.
+    return _GUARD

@@ -97,7 +97,25 @@ class HttpResponse:
         return self.body.decode(encoding)
 
 
+# Host validity is a pure function of the host string; communication
+# functions validate the same handful of hosts millions of times per
+# experiment, so memoize (bounded to keep adversarial inputs from
+# growing it without limit).
+_HOST_CACHE: dict[str, bool] = {}
+_HOST_CACHE_LIMIT = 1024
+
+
 def _valid_host(host: str) -> bool:
+    cached = _HOST_CACHE.get(host)
+    if cached is not None:
+        return cached
+    valid = _compute_valid_host(host)
+    if len(_HOST_CACHE) < _HOST_CACHE_LIMIT:
+        _HOST_CACHE[host] = valid
+    return valid
+
+
+def _compute_valid_host(host: str) -> bool:
     if not host:
         return False
     try:

@@ -129,15 +129,24 @@ class Event:
 
     # -- triggering ---------------------------------------------------
 
-    def succeed(self, value: Any = None) -> "Event":
-        """Schedule the event to occur now, carrying ``value``."""
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule the event to occur, carrying ``value``.
+
+        ``delay`` schedules the occurrence that many virtual seconds in
+        the future (default: now).  A delayed succeed lets a producer
+        that already knows an outcome publish it without allocating a
+        separate :class:`Timeout` — engines use this to fire a task's
+        completion directly at ``now + service_time``.
+        """
         if self._state != _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
         self._state = _TRIGGERED
         env = self.env
-        heappush(env._queue, (env._now, 1, env._next_seq(), self))
+        seq = env._seq
+        env._seq = seq + 1
+        heappush(env._queue, (env._now + delay, 1, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -150,7 +159,9 @@ class Event:
         self._value = exception
         self._state = _TRIGGERED
         env = self.env
-        heappush(env._queue, (env._now, 1, env._next_seq(), self))
+        seq = env._seq
+        env._seq = seq + 1
+        heappush(env._queue, (env._now, 1, seq, self))
         return self
 
     def _mark_processed(self) -> None:
@@ -178,7 +189,9 @@ class Timeout(Event):
         self._defused = False
         self._state = _TRIGGERED
         self.delay = delay
-        heappush(env._queue, (env._now + delay, 1, env._next_seq(), self))
+        seq = env._seq
+        env._seq = seq + 1
+        heappush(env._queue, (env._now + delay, 1, seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -196,7 +209,9 @@ class Initialize(Event):
         self._ok = True
         self._defused = False
         self._state = _TRIGGERED
-        heappush(env._queue, (env._now, 1, env._next_seq(), self))
+        seq = env._seq
+        env._seq = seq + 1
+        heappush(env._queue, (env._now, 1, seq, self))
 
 
 class Process(Event):
@@ -263,13 +278,17 @@ class Process(Event):
                 self._ok = True
                 self._value = stop.value
                 self._state = _TRIGGERED
-                heappush(env._queue, (env._now, 1, env._next_seq(), self))
+                seq = env._seq
+                env._seq = seq + 1
+                heappush(env._queue, (env._now, 1, seq, self))
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
                 self._state = _TRIGGERED
-                heappush(env._queue, (env._now, 1, env._next_seq(), self))
+                seq = env._seq
+                env._seq = seq + 1
+                heappush(env._queue, (env._now, 1, seq, self))
                 break
 
             if type(next_event) is Timeout or isinstance(next_event, Event):
@@ -472,26 +491,50 @@ class Environment:
             if stop_time < self._now:
                 raise SimulationError("cannot run until a time in the past")
 
+        # The loop below is step() inlined: everything downstream pumps
+        # millions of events through here, so the per-event overhead of
+        # a method call and redundant state checks is worth shaving.
         queue = self._queue
-        step = self.step
-        while queue:
-            if stop_event is not None and stop_event._state == _PROCESSED:
-                if not stop_event._ok:
-                    stop_event._defused = True
-                    raise stop_event._value
-                return stop_event._value
-            if queue[0][0] > stop_time:
-                self._now = stop_time
-                return None
-            step()
 
         if stop_event is not None:
+            # Completion is detected via a callback flag instead of
+            # polling the event's state on every iteration.
+            stopped: list = []
+            if stop_event._state == _PROCESSED:
+                stopped.append(stop_event)
+            else:
+                stop_event.callbacks.append(stopped.append)
+            while queue and not stopped:
+                when, _priority, _seq, event = heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = []
+                event._state = _PROCESSED
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             if stop_event._state != _PROCESSED:
                 raise SimulationError("ran out of events before `until` fired")
             if not stop_event._ok:
                 stop_event._defused = True
                 raise stop_event._value
             return stop_event._value
+
+        while queue:
+            if queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            when, _priority, _seq, event = heappop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = []
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+
         if stop_time != float("inf"):
             self._now = stop_time
         return None

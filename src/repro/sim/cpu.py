@@ -133,10 +133,14 @@ class ProcessorSharingCpu:
     def _advance_vtime(self) -> None:
         """Advance the virtual clock to the current instant."""
         now = self.env.now
-        if self._heap:
+        heap = self._heap
+        if heap:
             elapsed = now - self._last_update
             if elapsed > 0:
-                self._vtime += elapsed * self.current_rate
+                k = len(heap)
+                cores = self.cores
+                rate = 1.0 if k <= cores else (cores / k) * self.oversubscribed_efficiency
+                self._vtime += elapsed * rate
         self._last_update = now
 
     def _arm_timer(self) -> None:
@@ -150,11 +154,15 @@ class ProcessorSharingCpu:
         (a short job under-cutting the current heap top) arms a fresh
         timer; the superseded one is skipped by identity when it fires.
         """
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             self._timer = None
             self._timer_deadline = float("inf")
             return
-        delay = (self._heap[0][0] - self._vtime) / self.current_rate
+        k = len(heap)
+        cores = self.cores
+        rate = 1.0 if k <= cores else (cores / k) * self.oversubscribed_efficiency
+        delay = (heap[0][0] - self._vtime) / rate
         if delay < 0.0:
             delay = 0.0
         deadline = self.env.now + delay

@@ -23,6 +23,7 @@ from collections import deque
 from typing import Any, Optional
 
 from .core import Environment, Event, SimulationError
+from .core import _PROCESSED
 
 __all__ = ["Resource", "Request", "Store", "PriorityStore"]
 
@@ -33,6 +34,14 @@ class Request(Event):
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
+        if not resource._queue and len(resource._users) < resource._capacity:
+            # Fast path: a slot is free and nobody is ahead of us, so
+            # the claim is granted synchronously — the requester
+            # continues without a trip through the event heap.
+            resource._users.append(self)
+            self._value = self
+            self._state = _PROCESSED
+            return
         resource._queue.append(self)
         resource._trigger()
 
@@ -154,6 +163,16 @@ class Store:
     def put(self, item: Any) -> Event:
         """Add ``item``; the event fires once the item is accepted."""
         event = Event(self.env)
+        if not self._putters and len(self) < self.capacity:
+            # Fast path: the item is accepted immediately, so the put
+            # event is born processed — no heap round trip.  Waiting
+            # getters are still woken through the heap (FIFO order).
+            self._push_item(item)
+            event._value = item
+            event._state = _PROCESSED
+            if self._getters:
+                self._dispatch()
+            return event
         self._putters.append((event, item))
         self._dispatch()
         return event
@@ -161,6 +180,14 @@ class Store:
     def get(self) -> Event:
         """Take the oldest item; the event fires carrying the item."""
         event = Event(self.env)
+        if not self._getters and len(self):
+            # Fast path: an item is ready and nobody is ahead of us —
+            # hand it over synchronously.
+            event._value = self._pop_item()
+            event._state = _PROCESSED
+            if self._putters:
+                self._dispatch()
+            return event
         self._getters.append(event)
         self._dispatch()
         return event
@@ -207,6 +234,13 @@ class PriorityStore(Store):
 
     def put(self, item: Any, priority: Any = 0) -> Event:  # type: ignore[override]
         event = Event(self.env)
+        if not self._putters and len(self) < self.capacity:
+            self._push_item((priority, item))
+            event._value = item
+            event._state = _PROCESSED
+            if self._getters:
+                self._dispatch()
+            return event
         self._putters.append((event, (priority, item)))
         self._dispatch()
         return event

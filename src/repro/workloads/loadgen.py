@@ -109,15 +109,13 @@ def run_arrivals(
     latencies = LatencyRecorder()
     state = {"completed": 0, "failed": 0}
 
-    def one_request(arrive_at: float):
-        delay = arrive_at - env.now
-        if delay > 0:
-            yield env.timeout(delay)
-        started = env.now
-        process = submit()
-        outcome = yield process
-        failed = getattr(outcome, "ok", True) is False
-        if failed:
+    def finish(started: float, event) -> None:
+        # Completion callback for one request (a failed completion
+        # event propagates through the all_of below, as before).
+        if not event._ok:
+            return
+        outcome = event._value
+        if getattr(outcome, "ok", True) is False:
             state["failed"] += 1
         else:
             state["completed"] += 1
@@ -125,9 +123,23 @@ def run_arrivals(
                 latencies.record(env.now - started)
 
     def driver():
-        requests = [env.process(one_request(t)) for t in arrival_times]
-        if requests:
-            yield env.all_of(requests)
+        # One driver process submits every request at its arrival time
+        # and observes completions via callbacks — this used to be a
+        # process per request, whose create/initialize/resume churn
+        # dominated the event heap at high request counts.
+        pending = []
+        for arrive_at in arrival_times:
+            delay = arrive_at - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            started = env.now
+            completion = submit()
+            completion.callbacks.append(
+                lambda event, started=started: finish(started, event)
+            )
+            pending.append(completion)
+        if pending:
+            yield env.all_of(pending)
 
     start = env.now
     driver_process = env.process(driver())

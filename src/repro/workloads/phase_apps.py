@@ -180,15 +180,16 @@ def register_phase_composition(
 
 def _phase_binary(function_name, seconds, binary_size, host, out_set="data"):
     if out_set == "request":
+        # The fetch request is identical on every run; format it once
+        # at registration instead of per invocation.
+        request_bytes = format_http_request("GET", f"http://{host}/fetch")
+
         @compute_function(
             name=function_name, compute_cost=seconds, binary_size=binary_size
         )
         def phase_fn(vfs):
             # Aggregate (modelled cost) and format the next fetch.
-            write_item(
-                vfs, "request", "r",
-                format_http_request("GET", f"http://{host}/fetch"),
-            )
+            write_item(vfs, "request", "r", request_bytes)
     else:
         @compute_function(
             name=function_name, compute_cost=seconds, binary_size=binary_size

@@ -12,6 +12,7 @@ from repro.data import (
     MemoryContext,
     parse_sets,
     serialize_sets,
+    serialized_size,
 )
 
 
@@ -201,6 +202,106 @@ def test_property_parser_never_crashes_on_garbage(blob):
         parse_sets(blob)
     except ContextError:
         pass
+
+
+_unicode_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=0x2FFF),
+    min_size=1,
+    max_size=24,
+).filter(lambda n: len(n.encode("utf-8")) <= 4096)
+
+
+@st.composite
+def _sets_any_names(draw):
+    """Sets with non-ASCII names, empty sets, empty payloads."""
+    sets = []
+    for _ in range(draw(st.integers(0, 4))):
+        items = []
+        used = set()
+        for _ in range(draw(st.integers(0, 4))):
+            ident = draw(_unicode_names.filter(lambda n: n not in used))
+            used.add(ident)
+            items.append(
+                DataItem(
+                    ident,
+                    draw(st.binary(max_size=128)),
+                    key=draw(st.one_of(st.none(), _unicode_names)),
+                )
+            )
+        sets.append(DataSet(draw(_unicode_names), items))
+    return sets
+
+
+@settings(max_examples=150, deadline=None)
+@given(_sets_any_names())
+def test_property_serialized_size_matches_encoder(sets):
+    # The accounting half of the data plane must agree byte-for-byte
+    # with the eager encoder, including empty sets and non-ASCII names.
+    assert serialized_size(sets) == len(serialize_sets(sets))
+    # A second call hits the per-set wire cache; it must not drift.
+    assert serialized_size(sets) == len(serialize_sets(sets))
+
+
+def test_serialized_size_empty():
+    assert serialized_size([]) == len(serialize_sets([]))
+
+
+def test_serialized_size_max_length_name():
+    name = "n" * 4096
+    sets = [DataSet(name, [DataItem(name, b"x", key=name)])]
+    assert serialized_size(sets) == len(serialize_sets(sets))
+
+
+def test_serialized_size_rejects_overlong_name_like_encoder():
+    sets = [DataSet("s", [DataItem("i" * 4097, b"")])]
+    with pytest.raises(ContextError):
+        serialize_sets(sets)
+    with pytest.raises(ContextError):
+        serialized_size(sets)
+
+
+def test_serialized_size_cache_invalidated_by_add():
+    data_set = DataSet("s", [DataItem("a", b"123")])
+    first = serialized_size([data_set])
+    data_set.add(DataItem("b", b"4567"))
+    assert serialized_size([data_set]) == len(serialize_sets([data_set])) > first
+
+
+def test_store_sets_is_lazy_until_read():
+    # Accounting happens immediately; bytes appear only when read.
+    ctx = MemoryContext(1 << 16)
+    sets = _sample_sets()
+    size = ctx.store_sets(sets)
+    assert size == len(serialize_sets(sets))
+    assert ctx.committed >= size  # pages charged without materializing
+    assert len(ctx._buffer) == 0  # nothing copied yet
+    loaded = ctx.load_sets()
+    assert [s.ident for s in loaded] == ["alpha", "beta", "gamma"]
+
+
+def test_lazy_store_then_raw_write_keeps_order():
+    # A raw write after a lazy store must win over the store's bytes.
+    ctx = MemoryContext(1 << 16)
+    ctx.store_sets(_sample_sets())
+    ctx.write(4, b"\x63")  # clobber one byte of the (lazy) header area
+    blob = ctx.read(0, 8)
+    assert blob[4] == 0x63
+
+
+def test_read_view_is_zero_copy_alias():
+    ctx = MemoryContext(64)
+    ctx.write(0, b"abcdef")
+    view = ctx.read_view(1, 3)
+    assert isinstance(view, memoryview)
+    assert bytes(view) == b"bcd"
+
+
+def test_store_sets_overflow_fails_without_materializing():
+    ctx = MemoryContext(16)
+    with pytest.raises(ContextError):
+        ctx.store_sets(_sample_sets())
+    assert len(ctx._buffer) == 0
+    assert ctx.committed == 0
 
 
 @settings(max_examples=60, deadline=None)

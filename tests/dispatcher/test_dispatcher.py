@@ -368,3 +368,54 @@ def test_fast_function_unaffected_by_timeout():
     worker.frontend.register_composition(UPPER_PIPELINE)
     result = worker.invoke_and_run("upper_exclaim", {"text": b"quick"})
     assert result.ok
+
+
+def _broken_store(exc_type):
+    """store_sets that fails only for the post-run output store.
+
+    In copy mode inputs are stored at offset 0 and outputs at the
+    committed watermark, so ``offset > 0`` singles out the output path.
+    """
+    from repro.data import MemoryContext
+
+    original = MemoryContext.store_sets
+
+    def store(self, sets, offset=0):
+        if offset:
+            raise exc_type("injected store failure")
+        return original(self, sets, offset)
+
+    return store
+
+
+def test_output_store_capacity_overflow_tolerated(monkeypatch):
+    # A ContextError from the output store only affects accounting
+    # granularity (the declared reservation was too tight); the data
+    # itself already lives in the outcome, so the invocation succeeds.
+    from repro.data import MemoryContext
+    from repro.data.context import ContextError
+
+    worker = make_worker()
+    worker.frontend.register_function(upper)
+    worker.frontend.register_function(exclaim)
+    worker.frontend.register_composition(UPPER_PIPELINE)
+    monkeypatch.setattr(MemoryContext, "store_sets", _broken_store(ContextError))
+    result = worker.invoke_and_run("upper_exclaim", {"text": b"hello"})
+    assert result.ok
+    assert result.output("result").item("text").data == b"HELLO!"
+
+
+def test_output_store_programming_error_propagates(monkeypatch):
+    # Regression: the output store used to sit under a bare
+    # ``except Exception: pass``, so a genuine serialization bug (e.g.
+    # a TypeError from a malformed item) vanished silently.  Only
+    # ContextError is tolerated now; anything else must surface.
+    from repro.data import MemoryContext
+
+    worker = make_worker()
+    worker.frontend.register_function(upper)
+    worker.frontend.register_function(exclaim)
+    worker.frontend.register_composition(UPPER_PIPELINE)
+    monkeypatch.setattr(MemoryContext, "store_sets", _broken_store(TypeError))
+    with pytest.raises(TypeError, match="injected store failure"):
+        worker.invoke_and_run("upper_exclaim", {"text": b"hello"})

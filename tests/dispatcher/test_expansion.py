@@ -137,6 +137,31 @@ def test_merge_outputs_collision_renamed():
     assert merged["out"].item("i1.result").data == b"2"
 
 
+def test_merge_outputs_many_same_named_items_linear():
+    # Every instance emits the same item ident: the merge must stay
+    # linear in the total item count (the collision check is an O(1)
+    # index lookup, not a scan) and disambiguate all-but-one.
+    instances = 200
+    merged = merge_instance_outputs(
+        ["out"],
+        [
+            [DataSet("out", items(("result", bytes([index % 256]), None)))]
+            for index in range(instances)
+        ],
+    )
+    assert len(merged["out"]) == instances
+    assert merged["out"].item("result").data == b"\x00"
+    for index in range(1, instances):
+        assert merged["out"].item(f"i{index}.result").data == bytes([index % 256])
+
+
+def test_merge_outputs_single_instance_reuses_sets():
+    produced = DataSet("out", items(("a", b"1", None)))
+    merged = merge_instance_outputs(["out", "empty"], [[produced]])
+    assert merged["out"] is produced
+    assert len(merged["empty"]) == 0
+
+
 def test_merge_preserves_keys_and_ignores_undeclared_sets():
     merged = merge_instance_outputs(
         ["declared"],

@@ -130,3 +130,37 @@ def test_task_input_bytes():
         binary=work,
     )
     assert task.input_bytes == 4
+
+
+@compute_function()
+def sneaky(vfs):
+    open("/etc/passwd")
+
+
+def test_batch_guard_executes_and_restores_on_shutdown():
+    # Engine-scoped purity guard: one outer guard for the engine's
+    # lifetime, restored when the engine retires.
+    import builtins
+
+    original = builtins.open
+    env = Environment()
+    queue = Store(env)
+    engine = make_engine(env, queue, batch_guard=True)
+    task = submit(env, queue, work)
+    outcome = env.run(until=task.completion)
+    assert outcome.success
+    queue.put(SHUTDOWN)
+    env.run(until=engine.stopped)
+    assert builtins.open is original
+
+
+def test_batch_guard_still_blocks_syscalls():
+    env = Environment()
+    queue = Store(env)
+    engine = make_engine(env, queue, batch_guard=True)
+    task = submit(env, queue, sneaky)
+    outcome = env.run(until=task.completion)
+    assert not outcome.success
+    assert "cannot use open" in str(outcome.error)
+    queue.put(SHUTDOWN)
+    env.run(until=engine.stopped)

@@ -96,3 +96,31 @@ def test_pure_computation_unaffected():
     with purity_guard():
         assert sum(range(100)) == 4950
         assert [x * x for x in range(5)] == [0, 1, 4, 9, 16]
+
+
+def test_originals_captured_at_enter_respect_monkeypatching():
+    # The stub table is built at import, but originals are saved at
+    # enter time, so an attribute patched before the guard is restored
+    # to the patch, not to the import-time original.
+    def sentinel(*_args, **_kwargs):
+        return "patched"
+
+    original = builtins.open
+    builtins.open = sentinel
+    try:
+        with purity_guard():
+            with pytest.raises(SyscallBlocked):
+                open("x")
+        assert builtins.open is sentinel
+    finally:
+        builtins.open = original
+
+
+def test_guard_reentry_is_counter_only():
+    # Nested enters must not touch the patched attributes: the stub
+    # installed by the outer enter stays the same object throughout.
+    with purity_guard():
+        stub = builtins.open
+        with purity_guard():
+            assert builtins.open is stub
+        assert builtins.open is stub

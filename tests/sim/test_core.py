@@ -405,3 +405,25 @@ def test_nested_process_chain():
     p = env.process(level(10))
     assert env.run(until=p) == 11
     assert env.now == 1
+
+
+def test_succeed_with_delay_fires_in_the_future():
+    env = Environment()
+    event = env.event()
+    event.succeed("late", delay=2.5)
+    seen = []
+    event.callbacks.append(lambda e: seen.append((env.now, e.value)))
+    env.run()
+    assert seen == [(2.5, "late")]
+
+
+def test_succeed_with_delay_orders_after_earlier_events():
+    env = Environment()
+    order = []
+    delayed = env.event()
+    delayed.succeed("b", delay=1.0)
+    delayed.callbacks.append(lambda _e: order.append("b"))
+    early = env.timeout(0.5)
+    early.callbacks.append(lambda _e: order.append("a"))
+    env.run()
+    assert order == ["a", "b"]

@@ -293,3 +293,24 @@ def test_many_consumers_each_get_distinct_items():
     env.process(producer())
     env.run()
     assert sorted(received) == [0, 1, 2, 3, 4]
+
+
+def test_uncontended_request_is_born_processed():
+    # Fast path: with capacity free, request() returns an event that is
+    # already processed, so callback code can run synchronously instead
+    # of paying a trip through the event queue.
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    request = resource.request()
+    assert request.processed
+    assert resource.count == 1
+
+
+def test_store_get_with_stock_is_born_processed():
+    env = Environment()
+    store = Store(env)
+    store.put("item")
+    env.run()
+    get = store.get()
+    assert get.processed
+    assert get.value == "item"
