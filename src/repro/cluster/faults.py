@@ -1,0 +1,64 @@
+"""Seeded worker-level fault injection (§6.1 fault tolerance).
+
+:class:`WorkerFaultInjector` drives fail-stop crash/restore cycles on a
+:class:`~repro.cluster.manager.ClusterManager`: each worker lives for an
+exponentially distributed time-to-failure (MTTF), fail-stops, stays
+down for an exponentially distributed time-to-repair (MTTR), and is
+then restored as a fresh node with registrations replayed.  Every draw
+comes from a per-worker :class:`~repro.sim.distributions.Rng` stream
+forked from one seed, so a fault schedule is reproducible and
+independent of how worker lifecycles interleave.
+"""
+
+from __future__ import annotations
+
+from ..sim.distributions import Rng
+
+__all__ = ["WorkerFaultInjector"]
+
+
+class WorkerFaultInjector:
+    """Drives seeded MTTF/MTTR fail-stop cycles on a cluster's workers."""
+
+    def __init__(
+        self,
+        cluster,
+        mttf_seconds: float,
+        mttr_seconds: float,
+        seed: int = 0,
+        spare_last_healthy: bool = True,
+    ):
+        if mttf_seconds <= 0 or mttr_seconds <= 0:
+            raise ValueError("MTTF and MTTR must be positive")
+        self.cluster = cluster
+        self.mttf_seconds = mttf_seconds
+        self.mttr_seconds = mttr_seconds
+        # A total fleet outage usually means the experiment measures the
+        # injector, not the platform; by default the injector refuses to
+        # take down the last healthy worker (skips that cycle).
+        self.spare_last_healthy = spare_last_healthy
+        self.crashes_injected = 0
+        self.restores_performed = 0
+        self.crashes_skipped = 0
+        rng = Rng(seed)
+        self._processes = [
+            cluster.env.process(self._worker_life(index, rng.fork(index + 1)))
+            for index in range(cluster.worker_count)
+        ]
+
+    def _worker_life(self, index: int, rng: Rng):
+        env = self.cluster.env
+        while True:
+            yield env.timeout(rng.exponential(self.mttf_seconds))
+            if not self.cluster.is_healthy(index):
+                # Someone else (a test, another injector) already failed
+                # this worker; wait out the cycle and try again.
+                continue
+            if self.spare_last_healthy and self.cluster.healthy_worker_count <= 1:
+                self.crashes_skipped += 1
+                continue
+            self.cluster.fail_worker(index)
+            self.crashes_injected += 1
+            yield env.timeout(rng.exponential(self.mttr_seconds))
+            self.cluster.restore_worker(index)
+            self.restores_performed += 1

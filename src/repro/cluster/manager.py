@@ -19,6 +19,15 @@ load-balancing policy:
 Workers can also be added while the cluster is running (scale-out);
 previously registered functions and compositions are replayed onto the
 new node before it receives traffic.
+
+Fail-stop fault domain (§6.1): :meth:`fail_worker` crashes a worker —
+it is skipped by routing, invocations in flight on it are re-routed to
+a healthy peer (safe because compositions are pure compute and
+protocol-checked communication, so re-execution is transparent), and
+its state is lost.  :meth:`restore_worker` brings the node back as a
+*fresh* worker with registrations replayed, mirroring how Dirigent
+re-admits a recovered node.  :class:`~repro.cluster.faults.WorkerFaultInjector`
+drives these transitions from seeded MTTF/MTTR distributions.
 """
 
 from __future__ import annotations
@@ -28,8 +37,10 @@ from typing import Optional
 
 from ..composition.graph import Composition
 from ..composition.registry import FunctionBinary
+from ..dispatcher.dispatcher import InvocationResult
+from ..errors import InvocationError, WorkerCrashed
 from ..net.network import LatencyModel, SimulatedNetwork
-from ..sim.core import Environment
+from ..sim.core import Environment, Interrupt
 from ..sim.distributions import Rng
 from ..sim.metrics import LatencyRecorder
 from ..worker import WorkerConfig, WorkerNode
@@ -53,6 +64,7 @@ class ClusterManager:
         env: Optional[Environment] = None,
         network: Optional[SimulatedNetwork] = None,
         seed: int = 0,
+        max_reroutes: int = 3,
     ):
         if worker_count < 1:
             raise ValueError("cluster needs at least one worker")
@@ -66,13 +78,25 @@ class ClusterManager:
         self._rng = Rng(seed)
         self._round_robin = itertools.count()
         self._config = worker_config or WorkerConfig()
+        self.max_reroutes = max_reroutes
         self.workers: list[WorkerNode] = []
         self._functions: list[FunctionBinary] = []
         self._compositions: list = []
         self._in_flight: dict[int, int] = {}
+        self._healthy: dict[int, bool] = {}
+        # Cluster-side processes waiting on each worker; interrupted
+        # (and re-routed) when that worker fail-stops.
+        self._crash_waiters: dict[int, set] = {}
         self.latencies = LatencyRecorder("cluster")
+        self.failed_latencies = LatencyRecorder("cluster-failed")
         self.invocations_routed = 0
+        self.invocations_failed = 0
+        self.worker_crashes = 0
+        self.worker_restores = 0
+        self.reroutes = 0
         self.per_worker_invocations: dict[int, int] = {}
+        self.per_worker_failures: dict[int, int] = {}
+        self.per_worker_crashes: dict[int, int] = {}
         for _ in range(worker_count):
             self.add_worker()
 
@@ -80,11 +104,19 @@ class ClusterManager:
 
     def add_worker(self) -> WorkerNode:
         """Add (scale out) one worker; replays existing registrations."""
-        worker = WorkerNode(self._config, env=self.env, network=self.network)
+        worker = self._fresh_worker()
         index = len(self.workers)
         self.workers.append(worker)
         self._in_flight[index] = 0
+        self._healthy[index] = True
+        self._crash_waiters[index] = set()
         self.per_worker_invocations[index] = 0
+        self.per_worker_failures[index] = 0
+        self.per_worker_crashes[index] = 0
+        return worker
+
+    def _fresh_worker(self) -> WorkerNode:
+        worker = WorkerNode(self._config, env=self.env, network=self.network)
         for binary in self._functions:
             worker.frontend.register_function(binary)
         for composition in self._compositions:
@@ -94,6 +126,58 @@ class ClusterManager:
     @property
     def worker_count(self) -> int:
         return len(self.workers)
+
+    @property
+    def healthy_worker_count(self) -> int:
+        return sum(1 for healthy in self._healthy.values() if healthy)
+
+    def is_healthy(self, index: int) -> bool:
+        return self._healthy[index]
+
+    # -- fail-stop fault domain (§6.1) ----------------------------------------
+
+    def fail_worker(self, index: int) -> None:
+        """Crash worker ``index`` (fail-stop): its state is lost.
+
+        Routing skips the worker from now on, and every cluster-side
+        invocation currently in flight on it is interrupted and
+        re-routed to a healthy peer — transparent re-execution is safe
+        because compositions are pure (§6.1).  The crashed node's
+        in-simulation activity is abandoned (results discarded), the
+        discrete-event analogue of the process disappearing.
+        """
+        if not 0 <= index < len(self.workers):
+            raise IndexError(f"no worker {index}")
+        if not self._healthy[index]:
+            raise ValueError(f"worker {index} is already failed")
+        self._healthy[index] = False
+        self.worker_crashes += 1
+        self.per_worker_crashes[index] += 1
+        cause = WorkerCrashed(index)
+        waiters = self._crash_waiters[index]
+        for process in list(waiters):
+            if process.is_alive:
+                process.interrupt(cause)
+        waiters.clear()
+
+    def restore_worker(self, index: int) -> WorkerNode:
+        """Bring worker ``index`` back as a fresh node (state was lost).
+
+        Fail-stop semantics mean nothing survives the crash, so restore
+        builds a brand-new :class:`WorkerNode` and replays every
+        function/composition registration before the node re-enters the
+        routing pool.
+        """
+        if not 0 <= index < len(self.workers):
+            raise IndexError(f"no worker {index}")
+        if self._healthy[index]:
+            raise ValueError(f"worker {index} is healthy; nothing to restore")
+        worker = self._fresh_worker()
+        self.workers[index] = worker
+        self._healthy[index] = True
+        self._in_flight[index] = 0
+        self.worker_restores += 1
+        return worker
 
     # -- registration (fanned out to every node) ----------------------------------
 
@@ -112,13 +196,22 @@ class ClusterManager:
 
     # -- routing ---------------------------------------------------------------
 
-    def _pick_worker(self) -> int:
+    def _pick_worker(self) -> Optional[int]:
+        """Pick a healthy worker index, or ``None`` if the fleet is down.
+
+        With every worker healthy each policy consumes exactly the same
+        decision stream as it did before the fault domain existed, so
+        fault-free runs stay bit-identical.
+        """
+        healthy = [index for index, ok in self._healthy.items() if ok]
+        if not healthy:
+            return None
         if self.policy == "round_robin":
-            return next(self._round_robin) % len(self.workers)
+            return healthy[next(self._round_robin) % len(healthy)]
         if self.policy == "random":
-            return self._rng.randint(0, len(self.workers) - 1)
+            return self._rng.choice(healthy)
         # least_loaded: break ties by index for determinism.
-        return min(self._in_flight, key=lambda index: (self._in_flight[index], index))
+        return min(healthy, key=lambda index: (self._in_flight[index], index))
 
     def invoke(self, composition_name: str, inputs: dict):
         """Route one invocation; returns a process → InvocationResult."""
@@ -126,18 +219,58 @@ class ClusterManager:
 
     def _invoke(self, composition_name: str, inputs: dict):
         yield self.env.timeout(_ROUTING_OVERHEAD_SECONDS)
-        index = self._pick_worker()
-        self._in_flight[index] += 1
-        self.per_worker_invocations[index] += 1
-        self.invocations_routed += 1
         started = self.env.now
-        try:
-            result = yield self.workers[index].frontend.invoke(composition_name, inputs)
-        finally:
-            self._in_flight[index] -= 1
-        if result.ok:
-            self.latencies.record(self.env.now - started)
-        return result
+        reroutes = 0
+        while True:
+            index = self._pick_worker()
+            if index is None:
+                return self._fail_invocation(
+                    started, InvocationError("no healthy workers available")
+                )
+            self._in_flight[index] += 1
+            self.per_worker_invocations[index] += 1
+            self.invocations_routed += 1
+            waiter = self.env.active_process
+            self._crash_waiters[index].add(waiter)
+            crashed = False
+            try:
+                result = yield self.workers[index].frontend.invoke(
+                    composition_name, inputs
+                )
+            except Interrupt:
+                # The worker fail-stopped under us; whatever it was
+                # doing is lost.  Re-route to a healthy peer.
+                crashed = True
+            finally:
+                self._crash_waiters[index].discard(waiter)
+                if self._in_flight.get(index, 0) > 0:
+                    self._in_flight[index] -= 1
+            if crashed:
+                reroutes += 1
+                if reroutes > self.max_reroutes:
+                    return self._fail_invocation(started, WorkerCrashed(index))
+                self.reroutes += 1
+                continue
+            if result.ok:
+                self.latencies.record(self.env.now - started)
+            else:
+                # Error paths are telemetry too: count them against the
+                # worker that served the request and record their
+                # latency separately so failures never vanish silently.
+                self.invocations_failed += 1
+                self.per_worker_failures[index] += 1
+                self.failed_latencies.record(self.env.now - started)
+            return result
+
+    def _fail_invocation(self, started: float, error: Exception) -> InvocationResult:
+        self.invocations_failed += 1
+        self.failed_latencies.record(self.env.now - started)
+        return InvocationResult(
+            invocation_id=-1,
+            error=error,
+            started_at=started,
+            finished_at=self.env.now,
+        )
 
     def invoke_and_run(self, composition_name: str, inputs: dict):
         process = self.invoke(composition_name, inputs)
@@ -148,9 +281,18 @@ class ClusterManager:
     def stats(self) -> dict:
         return {
             "workers": len(self.workers),
+            "healthy_workers": self.healthy_worker_count,
             "policy": self.policy,
             "invocations_routed": self.invocations_routed,
             "per_worker": dict(self.per_worker_invocations),
             "total_committed_bytes": sum(w.memory.current_bytes for w in self.workers),
             "peak_committed_bytes": sum(w.memory.peak_bytes for w in self.workers),
+            "failures": {
+                "worker_crashes": self.worker_crashes,
+                "worker_restores": self.worker_restores,
+                "reroutes": self.reroutes,
+                "failed_invocations": self.invocations_failed,
+                "per_worker_failures": dict(self.per_worker_failures),
+                "per_worker_crashes": dict(self.per_worker_crashes),
+            },
         }

@@ -35,8 +35,8 @@ from ..composition.registry import Registry
 from ..data.context import ContextError, MemoryContext
 from ..data.items import DataSet
 from ..engines.group import EngineGroup
-from ..engines.task import COMPUTE, Task
-from ..errors import InvocationError
+from ..engines.task import COMPUTE, Task, TaskOutcome
+from ..errors import DeadlineExceeded, InvocationError
 from ..sim.core import Environment
 from .expansion import expand_instances, merge_instance_outputs
 from .memory import MemoryTracker
@@ -46,6 +46,16 @@ __all__ = ["Dispatcher", "InvocationResult", "NodeFailure"]
 # Virtual reservation for communication-function contexts (responses
 # can be large; reservation is virtual, commitment follows actual data).
 _COMM_CONTEXT_CAPACITY = 1 << 30
+
+# Retry schedule for transient engine failures (§6.1): exponential
+# backoff starting at 1 ms, doubling per attempt, with up to 10%
+# seeded jitter so synchronized failures don't re-collide.  Retrying
+# through ``env.timeout`` (instead of re-submitting in the same
+# simulated instant) gives a crashed engine or a congested queue
+# virtual time to recover.
+_RETRY_BACKOFF_BASE_SECONDS = 1e-3
+_RETRY_BACKOFF_FACTOR = 2.0
+_RETRY_JITTER_FRACTION = 0.1
 
 
 @dataclass(frozen=True)
@@ -139,6 +149,8 @@ class Dispatcher:
         max_retries: int = 2,
         default_timeout: Optional[float] = None,
         data_passing: str = "copy",
+        retry_rng=None,
+        retry_backoff_base: float = _RETRY_BACKOFF_BASE_SECONDS,
     ):
         self.env = env
         self.registry = registry
@@ -160,6 +172,10 @@ class Dispatcher:
         self.cold_load_fraction = cold_load_fraction
         self.max_retries = max_retries
         self.default_timeout = default_timeout
+        self.retry_rng = retry_rng
+        self.retry_backoff_base = retry_backoff_base
+        self.retries_performed = 0
+        self.deadline_expirations = 0
         self._warm_binaries: set[str] = set()
         # Composition id -> (composition, serial node order or None);
         # see _serial_nodes.
@@ -566,11 +582,16 @@ class Dispatcher:
         attempts = 0
         while True:
             group.submit(task)
-            outcome = yield task.completion
+            outcome = yield from self._await_task(task)
             if outcome.success:
                 break
             if outcome.transient and attempts < self.max_retries:
                 attempts += 1
+                self.retries_performed += 1
+                # Back off through virtual time before re-submitting —
+                # an immediate resubmit would hit the same crashed
+                # engine state in the same simulated instant.
+                yield self.env.timeout(self._backoff_seconds(attempts))
                 # Retry the same task with fresh per-attempt state: a
                 # new completion event and a re-drawn cache outcome
                 # (identical rng stream to rebuilding the task).
@@ -593,6 +614,43 @@ class Dispatcher:
             pass
         self.memory.observe(context)
         return outcome.outputs, context
+
+    def _await_task(self, task: Task):
+        """Wait on a task's completion, bounded by its deadline (§6.1).
+
+        Without a timeout this is a bare wait — the exact event stream
+        the fast path has always had.  With one, the wait races the
+        completion against ``env.timeout``; a missed deadline yields a
+        non-retryable :class:`DeadlineExceeded` outcome.  The engine may
+        still finish the task later in virtual time, but its completion
+        then fires with no waiters and the result is discarded.
+        """
+        if task.timeout is None:
+            outcome = yield task.completion
+            return outcome
+        deadline = self.env.timeout(task.timeout)
+        yield self.env.any_of([task.completion, deadline])
+        if task.completion.processed:
+            return task.completion.value
+        self.deadline_expirations += 1
+        return TaskOutcome(
+            success=False,
+            error=DeadlineExceeded(
+                f"node {task.node_name!r} missed its {task.timeout}s deadline"
+            ),
+            transient=False,
+        )
+
+    def _backoff_seconds(self, attempt: int) -> float:
+        """Exponential backoff with deterministic seeded jitter.
+
+        ``attempt`` is 1-based.  The jitter draw only happens on actual
+        retries, so fault-free runs never touch the rng stream.
+        """
+        delay = self.retry_backoff_base * _RETRY_BACKOFF_FACTOR ** (attempt - 1)
+        if self.retry_rng is not None:
+            delay *= 1.0 + _RETRY_JITTER_FRACTION * self.retry_rng.uniform()
+        return delay
 
     def _free_after_consumption(self, state, node, context: MemoryContext) -> None:
         """Arrange for ``context`` to be freed once consumers are done.

@@ -30,7 +30,7 @@ from ..sim.resources import Store
 from .compute_engine import SHUTDOWN
 from .task import Task, TaskOutcome
 
-__all__ = ["CommunicationEngine", "RESPONSE_SET"]
+__all__ = ["CommunicationEngine", "RESPONSE_SET", "IDEMPOTENT_METHODS", "IDEMPOTENT_KV_OPS"]
 
 RESPONSE_SET = "response"
 
@@ -45,6 +45,10 @@ _CPU_BYTES_PER_SECOND = 5e9
 # HTTP PUT requests are idempotent."  Methods in this set may be
 # retried transparently after a transient network failure.
 IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "PUT", "DELETE"})
+
+# Same §6.1 protocol reasoning for the TCP key-value protocol: reads
+# and absolute writes can be blindly re-issued, increments cannot.
+IDEMPOTENT_KV_OPS = frozenset({"get", "set", "delete"})
 
 
 class CommunicationEngine:
@@ -70,6 +74,8 @@ class CommunicationEngine:
         self.busy_seconds = 0.0
         self.active_green_threads = 0
         self.retries_performed = 0
+        self.exchange_timeouts = 0
+        self.handler_faults = 0
         self.stopped = env.event()
         self._failure_rng = failure_rng
         self._transient_failure_rate = transient_failure_rate
@@ -116,32 +122,46 @@ class CommunicationEngine:
                 # Single-request fast path (the common case): run the
                 # exchange inline in this green thread instead of
                 # spawning a sub-process per item.
-                response_item = yield from handler(self, items[0], task.protocol)
+                response_item = yield from handler(
+                    self, items[0], task.protocol, task.timeout
+                )
                 responses.add(response_item)
             else:
                 exchanges = [
-                    self.env.process(handler(self, item, task.protocol))
+                    self.env.process(handler(self, item, task.protocol, task.timeout))
                     for item in items
                 ]
                 for exchange in exchanges:
                     response_item = yield exchange
                     responses.add(response_item)
-            task.completion.succeed(
-                TaskOutcome(
-                    success=True,
-                    outputs=[responses],
-                    service_seconds=cpu_seconds,
-                )
+            outcome = TaskOutcome(
+                success=True,
+                outputs=[responses],
+                service_seconds=cpu_seconds,
+            )
+        except Exception as exc:  # noqa: BLE001 - any handler bug must fail the task
+            # A raising handler must fail the task's completion: leaving
+            # it pending would strand the dispatcher process waiting on
+            # it and deadlock the whole simulation.  Handler bugs are
+            # deterministic, so the failure is not marked retryable.
+            self.handler_faults += 1
+            outcome = TaskOutcome(
+                success=False,
+                error=exc,
+                service_seconds=cpu_seconds,
+                transient=False,
             )
         finally:
             self.active_green_threads -= 1
+        task.completion.succeed(outcome)
 
-    def _one_exchange(self, item: DataItem, protocol: str = "http"):
+    def _one_exchange(self, item: DataItem, protocol: str = "http", timeout=None):
         """Carry one request item through sanitization and the network.
 
         Transient network failures (modelled by the injection knobs)
-        are retried transparently for idempotent methods; non-idempotent
-        methods surface the failure to the user, since blind re-issue
+        and exchanges that exceed ``timeout`` are retried transparently
+        for idempotent methods; non-idempotent methods surface the
+        failure to the user as an error item, since blind re-issue
         could duplicate side effects (§6.1).
         """
         data = item.data
@@ -169,6 +189,7 @@ class CommunicationEngine:
             if len(self._request_cache) < 512:
                 self._request_cache[id(data)] = (data, request, None)
         attempts = 0
+        retryable = request.method in IDEMPOTENT_METHODS
         while True:
             failed = (
                 self._failure_rng is not None
@@ -179,7 +200,6 @@ class CommunicationEngine:
                 # The connection dropped mid-exchange: charge a round
                 # trip, then decide whether the request may be retried.
                 yield self.env.timeout(self.network.latency.round_trip_seconds)
-                retryable = request.method in IDEMPOTENT_METHODS
                 if retryable and attempts < self._max_retries:
                     attempts += 1
                     self.retries_performed += 1
@@ -193,7 +213,31 @@ class CommunicationEngine:
                     }
                 ).encode()
                 return DataItem(item.ident, payload, key=item.key)
-            response = yield from self.network.perform(request)
+            if timeout is None:
+                response = yield from self.network.perform(request)
+            else:
+                # Race the exchange against the task deadline (§6.1).
+                # The exchange runs as its own process so an overdue
+                # network round trip can be abandoned mid-flight; its
+                # eventual result, if any, is discarded.
+                exchange = self.env.process(self.network.perform(request))
+                yield self.env.any_of([exchange, self.env.timeout(timeout)])
+                if not exchange.processed:
+                    self.exchange_timeouts += 1
+                    if retryable and attempts < self._max_retries:
+                        attempts += 1
+                        self.retries_performed += 1
+                        continue
+                    payload = json.dumps(
+                        {
+                            "status": 504,
+                            "error": f"exchange exceeded {timeout}s deadline",
+                            "retried": attempts,
+                            "idempotent": retryable,
+                        }
+                    ).encode()
+                    return DataItem(item.ident, payload, key=item.key)
+                response = exchange.value
             body = response.body
             cached = self._payload_cache.get(id(body))
             if (
@@ -220,7 +264,7 @@ class CommunicationEngine:
                     )
             return DataItem(item.ident, payload, key=item.key)
 
-    def _unknown_protocol_item(self, item: DataItem, protocol: str):
+    def _unknown_protocol_item(self, item: DataItem, protocol: str, timeout=None):
         """Yieldless placeholder exchange for unsupported protocols."""
         if False:  # pragma: no cover - makes this a generator
             yield None
@@ -230,9 +274,15 @@ class CommunicationEngine:
             key=item.key,
         )
 
-    def _kv_exchange(self, item: DataItem, protocol: str = "kv"):
+    def _kv_exchange(self, item: DataItem, protocol: str = "kv", timeout=None):
         """Carry one key-value request through sanitization and the
-        network (§4.1's TCP text-protocol communication function)."""
+        network (§4.1's TCP text-protocol communication function).
+
+        ``timeout`` bounds each exchange; overdue reads and absolute
+        writes (:data:`IDEMPOTENT_KV_OPS`) are re-issued up to the
+        retry budget, while an overdue ``incr`` surfaces an error item
+        (a blind re-issue could double-count, §6.1).
+        """
         from ..net.kv import parse_kv_request_item, sanitize_kv_request
 
         try:
@@ -243,13 +293,40 @@ class CommunicationEngine:
                 json.dumps({"status": 400, "error": str(exc)}).encode(),
                 key=item.key,
             )
-        status, value, reason = yield from self.network.perform_kv(
-            envelope["host"], envelope["op"], envelope["key"], envelope["value"]
-        )
-        payload = json.dumps(
-            {"status": status, "reason": reason, "value_hex": value.hex()}
-        ).encode()
-        return DataItem(item.ident, payload, key=item.key)
+        attempts = 0
+        retryable = envelope["op"] in IDEMPOTENT_KV_OPS
+        while True:
+            if timeout is None:
+                status, value, reason = yield from self.network.perform_kv(
+                    envelope["host"], envelope["op"], envelope["key"], envelope["value"]
+                )
+            else:
+                exchange = self.env.process(
+                    self.network.perform_kv(
+                        envelope["host"], envelope["op"], envelope["key"], envelope["value"]
+                    )
+                )
+                yield self.env.any_of([exchange, self.env.timeout(timeout)])
+                if not exchange.processed:
+                    self.exchange_timeouts += 1
+                    if retryable and attempts < self._max_retries:
+                        attempts += 1
+                        self.retries_performed += 1
+                        continue
+                    payload = json.dumps(
+                        {
+                            "status": 504,
+                            "error": f"kv exchange exceeded {timeout}s deadline",
+                            "retried": attempts,
+                            "idempotent": retryable,
+                        }
+                    ).encode()
+                    return DataItem(item.ident, payload, key=item.key)
+                status, value, reason = exchange.value
+            payload = json.dumps(
+                {"status": status, "reason": reason, "value_hex": value.hex()}
+            ).encode()
+            return DataItem(item.ident, payload, key=item.key)
 
     _PROTOCOL_HANDLERS = {
         "http": _one_exchange,

@@ -7,6 +7,8 @@ __all__ = [
     "FunctionTimeout",
     "MemoryLimitExceeded",
     "InvocationError",
+    "DeadlineExceeded",
+    "WorkerCrashed",
 ]
 
 
@@ -46,3 +48,26 @@ class MemoryLimitExceeded(DandelionError):
 
 class InvocationError(DandelionError):
     """A composition invocation could not be carried out."""
+
+
+class DeadlineExceeded(DandelionError):
+    """A task missed its dispatcher-enforced invocation deadline (§6.1).
+
+    Unlike :class:`FunctionTimeout` (the sandbox preempting a runaway
+    function), this is the orchestration layer giving up on a task whose
+    completion never arrived — a crashed engine, a lost exchange, or a
+    queue that never drained.
+    """
+
+
+class WorkerCrashed(DandelionError):
+    """A worker node fail-stopped while an invocation was in flight on it.
+
+    Carries the worker index; the cluster manager re-routes the
+    invocation to a healthy peer (safe because compositions are pure,
+    §6.1) or surfaces this error when no peer is available.
+    """
+
+    def __init__(self, worker_index: int):
+        super().__init__(f"worker {worker_index} crashed (fail-stop)")
+        self.worker_index = worker_index

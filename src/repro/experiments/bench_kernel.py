@@ -225,6 +225,56 @@ def bench_dispatcher_single_request(count: int = 500) -> dict:
     }
 
 
+def bench_retry_backoff(count: int = 300) -> dict:
+    """Retry/backoff hot path: transient faults force re-submissions.
+
+    Every invocation runs under ``transient_failure_rate=0.5`` so the
+    dispatcher's backoff loop (fresh completion events, jittered
+    ``env.timeout`` waits, re-drawn binary cache) dominates.  Reports
+    retries per invocation alongside throughput so regressions in the
+    retry machinery itself — not just the happy path — are visible.
+    """
+    from ..functions import compute_function
+    from ..worker import WorkerConfig, WorkerNode
+
+    @compute_function(compute_cost=1e-5, name="bench_flaky_echo")
+    def bench_flaky_echo(vfs):
+        vfs.write_bytes("/out/result/reply", vfs.read_bytes("/in/input/request"))
+
+    worker = WorkerNode(
+        WorkerConfig(
+            total_cores=2,
+            control_plane_enabled=False,
+            transient_failure_rate=0.5,
+            max_retries=8,
+            seed=13,
+        )
+    )
+    worker.frontend.register_function(bench_flaky_echo)
+    worker.frontend.register_composition(
+        """
+        composition bench_flaky {
+            compute echo uses bench_flaky_echo in(input) out(result);
+            input input -> echo.input;
+            output echo.result -> result;
+        }
+        """
+    )
+    worker.invoke_and_run("bench_flaky", {"input": b"ping"})  # warm-up
+    retries_before = worker.dispatcher.retries_performed
+    start = time.perf_counter()
+    for _ in range(count):
+        worker.invoke_and_run("bench_flaky", {"input": b"ping"})
+    elapsed = time.perf_counter() - start
+    retries = worker.dispatcher.retries_performed - retries_before
+    return {
+        "seconds": round(elapsed, 4),
+        "operations": count,
+        "ops_per_second": round(count / elapsed) if elapsed > 0 else None,
+        "retries_per_invocation": round(retries / count, 2),
+    }
+
+
 def bench_fig05_reduced() -> float:
     """End-to-end proxy: 3 systems × 3 rates, 0.2 s duration."""
     from .fig05_creation_throughput import run_fig05
@@ -257,6 +307,9 @@ def run_bench(full: bool = False, output: str | None = DEFAULT_OUTPUT) -> dict:
             "transfer_to_20k_64KiB": bench_transfer_to(),
             "parse_sets_20k": bench_parse_sets(),
             "dispatcher_single_request_500": bench_dispatcher_single_request(),
+        },
+        "fault_tolerance": {
+            "retry_backoff_300": bench_retry_backoff(),
         },
         "fig05_reduced": {"seconds": round(bench_fig05_reduced(), 4)},
     }

@@ -210,10 +210,14 @@ class TimeSeries:
             start = self._times[0]
         if end is None:
             end = self._times[-1]
+        first, last = self._times[0], self._times[-1]
         points = []
         t = start
         while t <= end + 1e-12:
-            points.append((t, self.value_at(min(t, self._times[-1]) if t >= self._times[0] else self._times[0])))
+            # Clamp the lookup into the recorded span: grid points
+            # before the first recording take its value (instead of
+            # value_at raising), points past the last hold it.
+            points.append((t, self.value_at(min(max(t, first), last))))
             t += step
         return points
 

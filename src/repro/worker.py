@@ -124,6 +124,7 @@ class WorkerNode:
             cold_load_fraction=config.cold_load_fraction,
             max_retries=config.max_retries,
             default_timeout=config.default_timeout,
+            retry_rng=self._rng.fork(4),
         )
         self.frontend = Frontend(self.env, self.registry, self.dispatcher)
         self.allocator = CoreAllocator(
@@ -160,6 +161,8 @@ class WorkerNode:
             "comm_tasks": self.comm_group.tasks_executed,
             "invocations_completed": self.dispatcher.invocations_completed,
             "invocations_failed": self.dispatcher.invocations_failed,
+            "retries_performed": self.dispatcher.retries_performed,
+            "deadline_expirations": self.dispatcher.deadline_expirations,
             "committed_bytes": self.memory.current_bytes,
             "peak_committed_bytes": self.memory.peak_bytes,
         }

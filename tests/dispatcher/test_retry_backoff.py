@@ -1,0 +1,188 @@
+"""Retry backoff and deadline enforcement in the dispatcher.
+
+Covers the §6.1 retry path: transient sandbox faults are retried with
+exponential backoff (inter-attempt gaps strictly increase in virtual
+time), fault-free runs take the no-retry fast path, and per-invocation
+deadlines convert stuck tasks into non-retryable failures instead of
+hangs.
+"""
+
+from repro.errors import DeadlineExceeded
+from repro.functions import compute_function
+from repro.net import EchoService
+from repro.worker import WorkerConfig, WorkerNode
+
+
+def make_worker(**config_kwargs):
+    config_kwargs.setdefault("total_cores", 4)
+    config_kwargs.setdefault("control_plane_enabled", False)
+    worker = WorkerNode(WorkerConfig(**config_kwargs))
+    worker.network.register(EchoService())
+    return worker
+
+
+@compute_function(name="bk_upper", compute_cost=1e-4)
+def bk_upper(vfs):
+    vfs.write_text("/out/result/text", vfs.read_text("/in/text/text").upper())
+
+
+SINGLE_NODE = """
+composition bk_single {
+    compute up uses bk_upper in(text) out(result);
+    input text -> up.text;
+    output up.result -> result;
+}
+"""
+
+
+def prepare(worker):
+    worker.frontend.register_function(bk_upper)
+    worker.frontend.register_composition(SINGLE_NODE)
+
+
+def spy_on_submissions(worker):
+    """Record the virtual time of every compute-task submission."""
+    times = []
+    original = worker.compute_group.submit
+
+    def recording_submit(task):
+        times.append(worker.env.now)
+        return original(task)
+
+    worker.compute_group.submit = recording_submit
+    return times
+
+
+def test_exhausted_retries_use_strictly_increasing_backoff():
+    worker = make_worker(transient_failure_rate=1.0, max_retries=4)
+    prepare(worker)
+    times = spy_on_submissions(worker)
+    result = worker.invoke_and_run("bk_single", {"text": b"x"})
+    assert not result.ok
+    # One initial attempt plus max_retries re-submissions.
+    assert len(times) == 5
+    assert worker.dispatcher.retries_performed == 4
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(gap > 0 for gap in gaps), gaps
+    # Exponential backoff: each wait strictly dominates the previous
+    # one even after jitter (10% max) and the constant service time.
+    assert all(later > earlier for earlier, later in zip(gaps, gaps[1:])), gaps
+
+
+def test_backoff_jitter_is_deterministic_per_seed():
+    def run(seed):
+        worker = make_worker(transient_failure_rate=1.0, max_retries=3, seed=seed)
+        prepare(worker)
+        times = spy_on_submissions(worker)
+        worker.invoke_and_run("bk_single", {"text": b"x"})
+        return times
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)  # jitter actually depends on the seed
+
+
+def test_zero_fault_run_takes_no_retry_fast_path():
+    worker = make_worker(transient_failure_rate=0.0)
+    prepare(worker)
+    times = spy_on_submissions(worker)
+    result = worker.invoke_and_run("bk_single", {"text": b"fast"})
+    assert result.ok
+    assert len(times) == 1  # exactly one submission, no retry machinery
+    assert worker.dispatcher.retries_performed == 0
+    assert worker.stats()["retries_performed"] == 0
+    assert worker.stats()["deadline_expirations"] == 0
+
+
+def test_transient_faults_eventually_succeed_and_count_retries():
+    worker = make_worker(transient_failure_rate=0.5, max_retries=8, seed=3)
+    prepare(worker)
+    for _ in range(10):
+        result = worker.invoke_and_run("bk_single", {"text": b"r"})
+        assert result.ok
+    assert worker.dispatcher.retries_performed > 0
+
+
+def _register_slow_fetch(worker, host="slowecho"):
+    from repro.functions import (
+        format_http_request,
+        parse_http_response_item,
+        read_items,
+        write_item,
+    )
+
+    @compute_function(name="bk_gen", compute_cost=1e-5)
+    def gen(vfs):
+        write_item(vfs, "request", "r", format_http_request("GET", f"http://{host}/"))
+
+    @compute_function(name="bk_check", compute_cost=1e-5)
+    def check(vfs):
+        envelope = parse_http_response_item(read_items(vfs, "response")[0].data)
+        write_item(vfs, "out", "status", str(envelope["status"]).encode())
+
+    worker.frontend.register_function(gen)
+    worker.frontend.register_function(check)
+    worker.frontend.register_composition(
+        """
+        composition bk_fetch {
+            compute g uses bk_gen in(seed) out(request);
+            comm c;
+            compute k uses bk_check in(response) out(out);
+            input seed -> g.seed;
+            g.request -> c.request [all];
+            c.response -> k.response [all];
+            output k.out -> out;
+        }
+        """
+    )
+
+
+def test_deadline_expiration_is_not_retried():
+    # A communication node against a slow backend: the exchange cannot
+    # finish inside the deadline, so the dispatcher must fail the task
+    # with DeadlineExceeded and must NOT burn retries on it.
+    worker = make_worker(default_timeout=0.005, max_retries=3)
+    worker.network.register(EchoService(host="slowecho", extra_seconds=1.0))
+    _register_slow_fetch(worker)
+    result = worker.invoke_and_run("bk_fetch", {"seed": b""})
+    assert not result.ok
+    assert "deadline" in str(result.error)
+    assert worker.dispatcher.deadline_expirations >= 1
+    assert worker.dispatcher.retries_performed == 0
+
+
+def test_deadline_failure_carries_deadline_exceeded_cause():
+    # Drive the dispatcher's _await_task directly on a comm task to
+    # observe the structured outcome (success=False, non-transient).
+    from repro.data import DataItem, DataSet
+    from repro.engines.task import COMMUNICATION, Task
+    from repro.functions import format_http_request
+
+    worker = make_worker(max_retries=2)
+    worker.network.register(EchoService(host="slowecho", extra_seconds=1.0))
+    dispatcher = worker.dispatcher
+    env = worker.env
+
+    request = format_http_request("GET", "http://slowecho/")
+    task = Task(
+        kind=COMMUNICATION,
+        input_sets=[DataSet("request", [DataItem("r", request)])],
+        output_set_names=["response"],
+        completion=env.event(),
+        protocol="http",
+        timeout=0.005,
+        node_name="probe",
+    )
+    worker.comm_group.submit(task)
+
+    outcome_box = []
+
+    def waiter():
+        outcome = yield from dispatcher._await_task(task)
+        outcome_box.append(outcome)
+
+    env.run(until=env.process(waiter()))
+    outcome = outcome_box[0]
+    assert not outcome.success
+    assert isinstance(outcome.error, DeadlineExceeded)
+    assert not outcome.transient
+    assert dispatcher.deadline_expirations == 1

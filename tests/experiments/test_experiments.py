@@ -18,6 +18,7 @@ from repro.experiments import (
     run_fig08,
     run_fig09,
     run_fig10,
+    run_sec61,
     run_sec74,
     run_sec77,
     run_sec8_enforcement,
@@ -133,6 +134,35 @@ def test_dandelion_load_model_cached_faster():
 def test_sec74_small():
     result = run_sec74(depths=(2, 4), cores=8)
     assert result.row(phases=4)["dandelion_uncached_ms"] > result.row(phases=2)["dandelion_uncached_ms"]
+
+
+def _sec61_small():
+    return run_sec61(
+        rps=120.0,
+        duration_seconds=0.5,
+        workers=2,
+        transient_rates=(0.0, 0.2),
+        mttf_sweep=(0.2,),
+        mttr_seconds=0.05,
+    )
+
+
+def test_sec61_small():
+    result = _sec61_small()
+    assert len(result.rows) == 3  # 2 transient rates + 1 MTTF point
+    baseline = result.rows[0]
+    assert baseline["retries"] == 0  # fault-free run takes the fast path
+    assert baseline["crashes"] == 0
+    for row in result.rows:
+        assert row["goodput_rps"] > 0
+    faulty = result.rows[1]
+    assert faulty["retries"] > 0
+    failstop = result.rows[2]
+    assert failstop["crashes"] > 0
+
+
+def test_sec61_deterministic():
+    assert _sec61_small().render() == _sec61_small().render()
 
 
 def test_fig08_runs():

@@ -136,6 +136,46 @@ def test_timeseries_resample_grid():
     assert points == [(0, 1), (0.5, 1), (1.0, 2)]
 
 
+def test_timeseries_resample_start_before_first_sample():
+    # Grid points before the first recording clamp to its value
+    # instead of raising "time precedes first recording".
+    series = TimeSeries()
+    series.record(1.0, 5)
+    series.record(2.0, 7)
+    points = series.resample(step=1.0, start=0.0, end=2.0)
+    assert points == [(0.0, 5), (1.0, 5), (2.0, 7)]
+
+
+def test_timeseries_resample_step_past_end():
+    # The grid may extend beyond the last recording; trailing points
+    # hold the final value.
+    series = TimeSeries()
+    series.record(0.0, 3)
+    series.record(1.0, 9)
+    points = series.resample(step=2.0, start=0.0, end=4.0)
+    assert points == [(0.0, 3), (2.0, 9), (4.0, 9)]
+
+
+def test_timeseries_resample_window_outside_recordings():
+    series = TimeSeries()
+    series.record(5.0, 42)
+    assert series.resample(step=1.0, start=0.0, end=2.0) == [
+        (0.0, 42),
+        (1.0, 42),
+        (2.0, 42),
+    ]
+    assert series.resample(step=1.0, start=8.0, end=9.0) == [(8.0, 42), (9.0, 42)]
+
+
+def test_timeseries_resample_rejects_bad_step():
+    series = TimeSeries()
+    series.record(0.0, 1)
+    with pytest.raises(ValueError):
+        series.resample(step=0.0)
+    with pytest.raises(ValueError):
+        TimeSeries().resample(step=1.0)
+
+
 def test_counter_basics():
     counter = Counter()
     counter.increment("cold_starts")
