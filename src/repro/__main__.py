@@ -8,11 +8,16 @@ Usage::
     python -m repro run fig9 --scale-factor 0.02
     python -m repro run fig7 --profile
     python -m repro bench [--full] [--output BENCH_sim_kernel.json]
+    python -m repro lint [--self | --compositions | --functions]
+                         [paths ...] [--format json] [--strict]
 
 Each experiment prints the same rows/series the paper reports (see
 EXPERIMENTS.md for the paper-vs-measured comparison).  ``bench`` times
 the simulation kernel's hot paths and records them in a JSON file so
 perf regressions are visible across PRs (see docs/simulation.md).
+``lint`` runs the static-analysis passes — purity verification of
+registered compute functions, composition linting, and the determinism
+self-lint over ``src/repro`` itself (see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from .experiments import (
     run_sec74,
     run_sec77,
     run_sec8_enforcement,
+    run_sec8_static,
     run_sec8_tcb,
     run_table1,
 )
@@ -69,6 +75,8 @@ def _run_one(name: str, args) -> None:
         print(run_sec8_tcb().render())
         print()
         print(run_sec8_enforcement().render())
+        print()
+        print(run_sec8_static().render())
     elif name in ("fig1", "fig10"):
         from .experiments.common import ascii_chart
 
@@ -118,7 +126,59 @@ def main(argv=None) -> int:
         "--output", default="BENCH_sim_kernel.json",
         help="JSON report path (default BENCH_sim_kernel.json); '-' to skip writing",
     )
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the static-analysis passes (docs/static_analysis.md)"
+    )
+    lint_parser.add_argument(
+        "--self", dest="lint_self", action="store_true",
+        help="determinism self-lint over src/repro",
+    )
+    lint_parser.add_argument(
+        "--functions", dest="lint_functions", action="store_true",
+        help="static purity verification of the demo-app functions",
+    )
+    lint_parser.add_argument(
+        "--compositions", dest="lint_compositions", action="store_true",
+        help="composition linting of registered graphs and DSL blocks in paths",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*",
+        help="files scanned for embedded composition blocks (with --compositions)",
+    )
+    lint_parser.add_argument(
+        "--format", dest="output_format", choices=("text", "json"), default="text",
+    )
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on any non-baselined finding (CI mode); default fails on errors",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None,
+        help="baseline suppression file (default: the checked-in self-lint baseline)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from the current findings and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        from .analysis.runner import run_lint
+
+        # With no scope flags, run every pass.
+        any_scope = args.lint_self or args.lint_functions or args.lint_compositions
+        code, report = run_lint(
+            lint_self_pass=args.lint_self or not any_scope,
+            lint_functions=args.lint_functions or not any_scope,
+            lint_compositions=args.lint_compositions or not any_scope,
+            paths=args.paths,
+            output_format=args.output_format,
+            strict=args.strict,
+            baseline_path=args.baseline,
+            write_baseline=args.write_baseline,
+        )
+        print(report)
+        return code
 
     if args.command == "bench":
         from .experiments.bench_kernel import run_bench

@@ -1,0 +1,60 @@
+"""Static analysis over compute functions, compositions, and the repo.
+
+Dandelion's leverage comes from properties the platform can verify
+*before* code runs: compute functions issue no syscalls (§4.1), and
+compositions are declarative DAGs the dispatcher can reason about ahead
+of execution.  The dynamic purity guard
+(:mod:`repro.functions.purity`) catches violations mid-invocation;
+this package proves (a useful subset of) the same contract at
+registration time, plus two companions:
+
+- :mod:`repro.analysis.purity_check` — AST analysis of registered
+  compute callables, following same-module helpers transitively, that
+  rejects blocked-surface reaches (``os``/``socket``/``subprocess``/
+  ``threading``), nondeterminism sources, global mutation, and
+  generator entry points before the function ever runs;
+- :mod:`repro.analysis.composition_lint` — semantic checks beyond
+  ``Composition._validate``: unused outputs, dead-end vertices,
+  fan-out explosion, set-name shadowing, and declared-but-never-written
+  sets proven by the purity pass's write summary;
+- :mod:`repro.analysis.determinism_lint` — a self-lint over
+  ``src/repro`` guarding the repo's byte-identical-output invariant
+  (no wall clocks, no unseeded RNG, no set-ordered iteration, no
+  missing ``__slots__`` on hot-path classes).
+
+All passes emit :class:`~repro.analysis.diagnostics.Diagnostic`
+records; grandfathered findings live in a checked-in baseline file
+(see :class:`~repro.analysis.diagnostics.Baseline`).  The CLI surface
+is ``python -m repro lint`` and the registration hook is
+``Registry.register_function(binary, verify="warn"|"strict")``.
+"""
+
+from .diagnostics import (
+    Baseline,
+    Diagnostic,
+    render_json,
+    render_text,
+)
+from .composition_lint import (
+    extract_dsl_blocks,
+    lint_composition,
+    lint_dsl_source,
+)
+from .determinism_lint import lint_self
+from .purity_check import (
+    PurityReport,
+    verify_purity,
+)
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "render_json",
+    "render_text",
+    "extract_dsl_blocks",
+    "lint_composition",
+    "lint_dsl_source",
+    "lint_self",
+    "PurityReport",
+    "verify_purity",
+]

@@ -1,0 +1,247 @@
+"""Semantic composition linting beyond ``Composition._validate`` (CMP codes).
+
+``_validate`` rejects structurally broken graphs (unknown sets, cycles,
+unfed inputs).  This pass flags graphs that are *well-formed but
+wasteful or suspicious* — exactly the class of ahead-of-time reasoning
+the declarative model enables (§4.1):
+
+- ``CMP000`` the DSL source does not parse (the parse error, relined);
+- ``CMP001`` an output set no edge or output binding ever consumes —
+  the function's work is computed, copied out, and dropped;
+- ``CMP002`` a vertex from which no path reaches any composition
+  output — a dead-end subgraph whose results cannot be observed;
+- ``CMP003`` fan-out explosion: an ``each``/``key`` edge feeding a
+  single-capacity communication vertex, or chained ``each``/``key``
+  edges whose instance counts multiply;
+- ``CMP004`` set-name shadowing: a nested composition exposes an
+  external set name identical to one of the parent's own
+  input/output bindings — legal, but a reliable source of
+  mis-wired edges;
+- ``CMP005`` an edge or output binding reads a set the static purity
+  summary proves the producing function never writes (only reported
+  when the write summary is complete — see
+  :func:`repro.analysis.purity_check.verify_purity`).
+
+Both registered :class:`~repro.composition.graph.Composition` objects
+and raw DSL sources are supported; :func:`extract_dsl_blocks` pulls
+composition blocks out of arbitrary text (example scripts embed them in
+triple-quoted strings).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..composition.dsl import parse_composition
+from ..composition.graph import Composition, CompositionError, Distribution
+from .diagnostics import Diagnostic, ERROR, WARNING
+from .purity_check import verify_purity
+
+__all__ = ["lint_composition", "lint_dsl_source", "extract_dsl_blocks"]
+
+
+def lint_composition(
+    composition: Composition,
+    registry=None,
+    *,
+    file: Optional[str] = None,
+) -> list[Diagnostic]:
+    """Lint one validated composition; optionally use ``registry`` to
+    resolve compute functions for the never-written-set check."""
+    diagnostics: list[Diagnostic] = []
+    _check_unused_outputs(composition, diagnostics, file)
+    _check_dead_end_vertices(composition, diagnostics, file)
+    _check_fanout(composition, diagnostics, file)
+    _check_shadowing(composition, diagnostics, file)
+    if registry is not None:
+        _check_never_written(composition, registry, diagnostics, file)
+    return diagnostics
+
+
+def lint_dsl_source(
+    source: str,
+    library: Optional[dict] = None,
+    registry=None,
+    *,
+    file: Optional[str] = None,
+    line_offset: int = 0,
+) -> tuple[Optional[Composition], list[Diagnostic]]:
+    """Parse and lint DSL source; parse failures become CMP000 errors."""
+    try:
+        composition = parse_composition(source, library=library or {})
+    except CompositionError as exc:
+        line = getattr(exc, "line", None)
+        return None, [
+            Diagnostic(
+                "CMP000", ERROR, str(exc),
+                file=file,
+                line=(line + line_offset) if line is not None else None,
+                symbol=None,
+            )
+        ]
+    return composition, lint_composition(composition, registry, file=file)
+
+
+# A composition block in free text: the grammar has exactly one brace
+# level, so a non-greedy brace match is sufficient.
+_DSL_BLOCK = re.compile(r"composition\s+\w+\s*\{[^{}]*\}", re.DOTALL)
+
+
+def extract_dsl_blocks(text: str) -> list[tuple[str, int]]:
+    """Composition-language blocks embedded in ``text``.
+
+    Returns ``(source, line_offset)`` pairs, where ``line_offset`` is
+    the number of lines preceding the block in ``text`` (so block line
+    1 maps to file line ``line_offset + 1``).
+    """
+    blocks = []
+    for match in _DSL_BLOCK.finditer(text):
+        offset = text.count("\n", 0, match.start())
+        blocks.append((match.group(0), offset))
+    return blocks
+
+
+# -- individual checks ------------------------------------------------------
+
+
+def _check_unused_outputs(
+    composition: Composition, diagnostics: list[Diagnostic], file: Optional[str]
+) -> None:
+    consumed = {(edge.source, edge.source_set) for edge in composition.edges}
+    consumed |= {(b.node, b.node_set) for b in composition.outputs}
+    for node in composition.nodes.values():
+        for set_name in node.output_sets:
+            if (node.name, set_name) not in consumed:
+                diagnostics.append(
+                    Diagnostic(
+                        "CMP001", WARNING,
+                        f"output set {node.name}.{set_name} is never consumed",
+                        file=file, symbol=composition.name,
+                        hint="drop the set from the node interface or wire it "
+                             "to a consumer",
+                    )
+                )
+
+
+def _check_dead_end_vertices(
+    composition: Composition, diagnostics: list[Diagnostic], file: Optional[str]
+) -> None:
+    # Reverse reachability from output-bound nodes.
+    predecessors: dict[str, set[str]] = {name: set() for name in composition.nodes}
+    for edge in composition.edges:
+        predecessors[edge.target].add(edge.source)
+    live = {binding.node for binding in composition.outputs}
+    frontier = list(live)
+    while frontier:
+        node = frontier.pop()
+        for pred in predecessors[node]:
+            if pred not in live:
+                live.add(pred)
+                frontier.append(pred)
+    for name in composition.topological_order:
+        if name not in live:
+            diagnostics.append(
+                Diagnostic(
+                    "CMP002", WARNING,
+                    f"vertex {name!r} cannot reach any composition output",
+                    file=file, symbol=composition.name,
+                    hint="its results are computed and discarded; bind an "
+                         "output or remove the subgraph",
+                )
+            )
+
+
+def _check_fanout(
+    composition: Composition, diagnostics: list[Diagnostic], file: Optional[str]
+) -> None:
+    fanout_targets = set()
+    for edge in composition.edges:
+        if edge.distribution is Distribution.ALL:
+            continue
+        fanout_targets.add(edge.target)
+        target = composition.nodes[edge.target]
+        if target.kind == "communication":
+            diagnostics.append(
+                Diagnostic(
+                    "CMP003", WARNING,
+                    f"{edge.distribution.value!r} edge "
+                    f"{edge.source}.{edge.source_set} -> "
+                    f"{edge.target}.{edge.target_set} fans out into "
+                    "single-capacity communication vertex",
+                    file=file, symbol=composition.name,
+                    hint="each instance serializes its CPU share on one comm "
+                         "engine; consider batching requests upstream",
+                )
+            )
+    for edge in composition.edges:
+        if edge.distribution is Distribution.ALL:
+            continue
+        if edge.source in fanout_targets:
+            diagnostics.append(
+                Diagnostic(
+                    "CMP003", WARNING,
+                    f"chained {edge.distribution.value!r} fan-out through "
+                    f"{edge.source!r}: instance counts multiply",
+                    file=file, symbol=composition.name,
+                    hint="instance count is the product of chained each/key "
+                         "expansions; verify the input cardinalities bound it",
+                )
+            )
+
+
+def _check_shadowing(
+    composition: Composition, diagnostics: list[Diagnostic], file: Optional[str]
+) -> None:
+    own_external = {b.external for b in composition.inputs}
+    own_external |= {b.external for b in composition.outputs}
+    for node in composition.nodes.values():
+        if node.kind != "composition":
+            continue
+        nested = node.composition
+        nested_external = {b.external for b in nested.inputs}
+        nested_external |= {b.external for b in nested.outputs}
+        for name in sorted(own_external & nested_external):
+            diagnostics.append(
+                Diagnostic(
+                    "CMP004", WARNING,
+                    f"nested composition {nested.name!r} (vertex {node.name!r}) "
+                    f"exposes set {name!r}, shadowing a set of "
+                    f"{composition.name!r}",
+                    file=file, symbol=composition.name,
+                    hint="rename one of the sets; shadowed names make edge "
+                         "declarations ambiguous to readers",
+                )
+            )
+
+
+def _check_never_written(
+    composition: Composition, registry, diagnostics: list[Diagnostic],
+    file: Optional[str],
+) -> None:
+    for node in composition.compute_nodes():
+        if not registry.has_function(node.function):
+            continue  # registration-time validation reports this
+        report = verify_purity(registry.function(node.function))
+        written = report.written_sets
+        if written is None or not report.analyzed:
+            continue  # summary incomplete: stay silent rather than guess
+        consumed_sets = {
+            edge.source_set for edge in composition.edges if edge.source == node.name
+        }
+        consumed_sets |= {
+            b.node_set for b in composition.outputs if b.node == node.name
+        }
+        for set_name in sorted(consumed_sets):
+            if set_name in node.output_sets and set_name not in written:
+                diagnostics.append(
+                    Diagnostic(
+                        "CMP005", WARNING,
+                        f"edge reads {node.name}.{set_name} but function "
+                        f"{node.function!r} provably never writes set "
+                        f"{set_name!r}",
+                        file=file, symbol=composition.name,
+                        hint="downstream vertices will receive an empty set; "
+                             "write the set or re-wire the edge",
+                    )
+                )

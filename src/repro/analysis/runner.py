@@ -1,0 +1,122 @@
+"""The ``python -m repro lint`` driver.
+
+Collects diagnostics across the three passes, applies the checked-in
+baseline, renders text or JSON, and computes the exit code:
+
+- default mode fails (exit 1) on any *new* error-severity finding;
+- ``--strict`` fails on any new finding at all (CI runs this);
+- ``--write-baseline`` regenerates the suppression file from the
+  current findings (the only sanctioned way to grandfather a finding —
+  codes are never skipped wholesale).
+
+The function/composition corpus is the built-in demo registry: the
+three paper applications (log processing, image compression, Text2SQL)
+registered on a throwaway worker, plus any composition blocks embedded
+in files passed on the command line (``examples/*.py`` in CI).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .composition_lint import extract_dsl_blocks, lint_composition, lint_dsl_source
+from .determinism_lint import lint_self
+from .diagnostics import Baseline, Diagnostic, ERROR, render_json, render_text
+from .purity_check import verify_purity
+
+__all__ = ["run_lint", "collect_diagnostics", "demo_registry", "DEFAULT_BASELINE_PATH"]
+
+DEFAULT_BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "self_lint_baseline.json"
+)
+
+
+def demo_registry():
+    """Registry holding the built-in demo apps' functions/compositions."""
+    from ..apps.compress import register_compression_app
+    from ..apps.logproc import register_logproc_app
+    from ..apps.text2sql import register_text2sql_app
+    from ..worker import WorkerConfig, WorkerNode
+
+    worker = WorkerNode(WorkerConfig(total_cores=2, control_plane_enabled=False))
+    register_logproc_app(worker)
+    register_compression_app(worker)
+    register_text2sql_app(worker)
+    return worker.registry
+
+
+def collect_diagnostics(
+    *,
+    lint_self_pass: bool = True,
+    lint_functions: bool = True,
+    lint_compositions: bool = True,
+    paths: Optional[list[str]] = None,
+    registry=None,
+) -> list[Diagnostic]:
+    """Run the selected passes and pool their findings."""
+    diagnostics: list[Diagnostic] = []
+    if lint_self_pass:
+        diagnostics.extend(lint_self())
+    if lint_functions or lint_compositions:
+        if registry is None:
+            registry = demo_registry()
+    if lint_functions:
+        for name in registry.function_names:
+            diagnostics.extend(verify_purity(registry.function(name)).diagnostics)
+    if lint_compositions:
+        for name in registry.composition_names:
+            diagnostics.extend(
+                lint_composition(registry.composition(name), registry)
+            )
+        for path in paths or []:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            for source, offset in extract_dsl_blocks(text):
+                _composition, found = lint_dsl_source(
+                    source,
+                    library=registry.compositions,
+                    registry=registry,
+                    file=path.replace(os.sep, "/"),
+                    line_offset=offset,
+                )
+                diagnostics.extend(found)
+    return diagnostics
+
+
+def run_lint(
+    *,
+    lint_self_pass: bool,
+    lint_functions: bool,
+    lint_compositions: bool,
+    paths: Optional[list[str]] = None,
+    output_format: str = "text",
+    strict: bool = False,
+    baseline_path: Optional[str] = None,
+    write_baseline: bool = False,
+) -> tuple[int, str]:
+    """Execute the lint command; returns ``(exit_code, report_text)``."""
+    diagnostics = collect_diagnostics(
+        lint_self_pass=lint_self_pass,
+        lint_functions=lint_functions,
+        lint_compositions=lint_compositions,
+        paths=paths,
+    )
+    path = baseline_path or DEFAULT_BASELINE_PATH
+    if write_baseline:
+        Baseline.from_diagnostics(diagnostics).write(path)
+        return 0, f"baseline with {len(diagnostics)} finding(s) written to {path}"
+    if os.path.exists(path):
+        baseline = Baseline.load(path)
+    else:
+        baseline = Baseline()
+    new, suppressed = baseline.filter(diagnostics)
+    if output_format == "json":
+        report = render_json(new)
+    else:
+        report = render_text(new)
+        if suppressed:
+            report += f"\n{len(suppressed)} finding(s) suppressed by baseline"
+    has_new_error = any(d.severity == ERROR for d in new)
+    failed = bool(new) if strict else has_new_error
+    return (1 if failed else 0), report

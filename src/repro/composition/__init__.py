@@ -15,7 +15,13 @@ from .graph import (
     InputBinding,
     OutputBinding,
 )
-from .registry import DEFAULT_MEMORY_LIMIT, FunctionBinary, Registry, RegistryError
+from .registry import (
+    DEFAULT_MEMORY_LIMIT,
+    FunctionBinary,
+    PurityVerificationError,
+    Registry,
+    RegistryError,
+)
 
 __all__ = [
     "COMM_INPUT_SET",
@@ -34,6 +40,7 @@ __all__ = [
     "composition_to_dsl",
     "DEFAULT_MEMORY_LIMIT",
     "FunctionBinary",
+    "PurityVerificationError",
     "Registry",
     "RegistryError",
 ]

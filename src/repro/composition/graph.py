@@ -47,7 +47,7 @@ class Distribution(enum.Enum):
         except ValueError:
             raise CompositionError(
                 f"unknown distribution {word!r}; expected one of all/each/key"
-            )
+            ) from None
 
 
 @dataclass(frozen=True)

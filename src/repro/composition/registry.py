@@ -10,12 +10,18 @@ and compositions referencing those binaries by name.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .graph import Composition
 
-__all__ = ["FunctionBinary", "Registry", "RegistryError"]
+__all__ = [
+    "FunctionBinary",
+    "Registry",
+    "RegistryError",
+    "PurityVerificationError",
+]
 
 DEFAULT_MEMORY_LIMIT = 64 * 1024 * 1024  # bytes, like a Lambda memory setting
 DEFAULT_BINARY_SIZE = 256 * 1024         # bytes of executable to load
@@ -23,6 +29,19 @@ DEFAULT_BINARY_SIZE = 256 * 1024         # bytes of executable to load
 
 class RegistryError(Exception):
     """Raised for unknown or conflicting registrations."""
+
+
+class PurityVerificationError(RegistryError):
+    """Static purity verification rejected a function at registration.
+
+    Carries the error-severity diagnostics so callers (and tests) can
+    inspect exactly which contract the function would have violated
+    mid-invocation.
+    """
+
+    def __init__(self, message: str, diagnostics):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
 
 
 @dataclass(frozen=True)
@@ -74,16 +93,55 @@ class Registry:
 
     # -- functions --------------------------------------------------------
 
-    def register_function(self, binary: FunctionBinary) -> None:
+    def register_function(
+        self, binary: FunctionBinary, verify: Optional[str] = None
+    ) -> None:
+        """Register a function binary, optionally verifying purity first.
+
+        ``verify`` selects the static-verification mode (§4.1: compute
+        functions "do not issue syscalls" — proven here *before* the
+        function ever runs, instead of terminating it mid-invocation):
+
+        - ``None`` (default): no static pass, dynamic guard only;
+        - ``"warn"``: run the verifier, surface findings as
+          :class:`~repro.analysis.purity_check.PurityWarning`;
+        - ``"strict"``: reject the registration with
+          :class:`PurityVerificationError` on any error-severity
+          finding.
+        """
+        if verify not in (None, "warn", "strict"):
+            raise RegistryError(
+                f"unknown verify mode {verify!r}; expected 'warn' or 'strict'"
+            )
         if binary.name in self._functions:
             raise RegistryError(f"function {binary.name!r} already registered")
+        if verify is not None:
+            # Imported lazily: the analysis package depends on the
+            # composition model, not the other way around.
+            from ..analysis.diagnostics import render_text
+            from ..analysis.purity_check import PurityWarning, verify_purity
+
+            report = verify_purity(binary)
+            if verify == "strict" and not report.ok:
+                raise PurityVerificationError(
+                    f"function {binary.name!r} failed static purity "
+                    f"verification:\n{render_text(report.errors)}",
+                    report.errors,
+                )
+            if report.diagnostics:
+                warnings.warn(
+                    f"function {binary.name!r}: "
+                    f"{render_text(report.diagnostics)}",
+                    PurityWarning,
+                    stacklevel=2,
+                )
         self._functions[binary.name] = binary
 
     def function(self, name: str) -> FunctionBinary:
         try:
             return self._functions[name]
         except KeyError:
-            raise RegistryError(f"unknown function {name!r}")
+            raise RegistryError(f"unknown function {name!r}") from None
 
     def has_function(self, name: str) -> bool:
         return name in self._functions
@@ -115,7 +173,7 @@ class Registry:
         try:
             return self._compositions[name]
         except KeyError:
-            raise RegistryError(f"unknown composition {name!r}")
+            raise RegistryError(f"unknown composition {name!r}") from None
 
     def has_composition(self, name: str) -> bool:
         return name in self._compositions

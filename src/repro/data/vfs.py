@@ -130,7 +130,7 @@ class VirtualFileSystem:
             try:
                 return data_set.item(item_name).data
             except KeyError:
-                raise VfsError(f"no file {clean!r}")
+                raise VfsError(f"no file {clean!r}") from None
         if root == _OUT_ROOT:
             if clean in self._output_files:
                 return self._output_files[clean][0]

@@ -136,6 +136,30 @@ class InvocationResult:
 class Dispatcher:
     """Orchestrates invocations over the worker's engine groups."""
 
+    __slots__ = (
+        "env",
+        "registry",
+        "compute_group",
+        "comm_group",
+        "memory",
+        "data_passing",
+        "cache_mode",
+        "cache_rng",
+        "cold_load_fraction",
+        "max_retries",
+        "default_timeout",
+        "retry_rng",
+        "retry_backoff_base",
+        "retries_performed",
+        "deadline_expirations",
+        "_warm_binaries",
+        "_serial_cache",
+        "_invocation_ids",
+        "invocations_started",
+        "invocations_completed",
+        "invocations_failed",
+    )
+
     def __init__(
         self,
         env: Environment,

@@ -19,6 +19,14 @@ __all__ = ["MemoryTracker"]
 class MemoryTracker:
     """Tracks committed bytes across live memory contexts over time."""
 
+    __slots__ = (
+        "env",
+        "series",
+        "_committed_by_context",
+        "current_bytes",
+        "peak_bytes",
+    )
+
     def __init__(self, env: Environment):
         self.env = env
         self.series = TimeSeries("committed_bytes")

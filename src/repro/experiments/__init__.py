@@ -13,7 +13,7 @@ from .loaded_dandelion import DandelionLoadModel
 from .sec61_fault_tolerance import run_sec61
 from .sec74_composition_chain import run_sec74
 from .sec77_text2sql import run_sec77
-from .sec8_security import run_sec8_enforcement, run_sec8_tcb
+from .sec8_security import run_sec8_enforcement, run_sec8_static, run_sec8_tcb
 from .table1_breakdown import matmul_1x1_binary, run_table1
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "run_sec74",
     "run_sec77",
     "run_sec8_enforcement",
+    "run_sec8_static",
     "run_sec8_tcb",
     "matmul_1x1_binary",
     "run_table1",

@@ -288,6 +288,41 @@ def bench_fig05_reduced() -> float:
     return time.perf_counter() - start
 
 
+def bench_purity_verification(rounds: int = 25) -> dict:
+    """Static purity verification over the full demo registry.
+
+    ``operations`` counts verified functions; a slow verifier would make
+    strict registration (and the CI lint job) painful.
+    """
+    from ..analysis.purity_check import verify_purity
+    from ..analysis.runner import demo_registry
+
+    registry = demo_registry()
+
+    def run() -> int:
+        verified = 0
+        for _ in range(rounds):
+            for name in registry.function_names:
+                verify_purity(registry.function(name))
+                verified += 1
+        return verified
+
+    return _timed(run)
+
+
+def bench_self_lint() -> dict:
+    """One determinism self-lint sweep over src/repro (wall time)."""
+    from ..analysis.determinism_lint import lint_self
+
+    def run() -> int:
+        return len(lint_self())
+
+    numbers = _timed(run)
+    numbers["findings"] = numbers.pop("operations")
+    numbers.pop("ops_per_second", None)
+    return numbers
+
+
 def bench_fig05_full() -> float:
     from .fig05_creation_throughput import run_fig05
 
@@ -310,6 +345,10 @@ def run_bench(full: bool = False, output: str | None = DEFAULT_OUTPUT) -> dict:
         },
         "fault_tolerance": {
             "retry_backoff_300": bench_retry_backoff(),
+        },
+        "static_analysis": {
+            "purity_verification_25x": bench_purity_verification(),
+            "self_lint_sweep": bench_self_lint(),
         },
         "fig05_reduced": {"seconds": round(bench_fig05_reduced(), 4)},
     }

@@ -10,17 +10,41 @@ reproduction itself:
 * live verification that the reproduction enforces the two Dandelion
   security properties §8 leans on — compute functions cannot reach
   syscall-like interfaces, and the communication engine sanitizes
-  untrusted request data before any network action.
+  untrusted request data before any network action;
+* static-vs-dynamic enforcement rates: a corpus of violating compute
+  functions, each run against both the dynamic purity guard (which
+  terminates the function mid-invocation) and the static verifier
+  (which rejects the registration before the function ever runs —
+  ``Registry.register_function(..., verify="strict")``).
 """
 
 from __future__ import annotations
 
+import io
+import os
+import pathlib
+import socket
+import subprocess
+import threading
+
+from ..composition.registry import (
+    FunctionBinary,
+    PurityVerificationError,
+    Registry,
+)
 from ..errors import SyscallBlocked
 from ..functions.purity import PURITY_BLOCKED_OPERATIONS, purity_guard
 from ..net.http import HttpRequest, SanitizationError, sanitize_request
 from .common import ExperimentResult
 
-__all__ = ["run_sec8_tcb", "run_sec8_enforcement", "TCB_TABLE", "ATTACK_SURFACE"]
+__all__ = [
+    "run_sec8_tcb",
+    "run_sec8_enforcement",
+    "run_sec8_static",
+    "violation_corpus",
+    "TCB_TABLE",
+    "ATTACK_SURFACE",
+]
 
 # Paper-reported code-base sizes (§8, "Trusted computing base").
 TCB_TABLE = [
@@ -104,4 +128,155 @@ def run_sec8_enforcement() -> ExperimentResult:
         result.note("all enforcement checks passed")
     else:
         result.note("SOME ENFORCEMENT CHECKS FAILED")
+    return result
+
+
+# -- static vs dynamic enforcement ------------------------------------------
+#
+# One violating compute function per blocked-operation family.  Each is
+# written the way a user would actually write it (module-level imports,
+# helper-free bodies), so the static verifier sees realistic code.
+
+
+def _violate_builtin_open(vfs):
+    open("/etc/hostname")
+
+
+def _violate_io_open(vfs):
+    io.open("/etc/hostname")
+
+
+def _violate_os_open(vfs):
+    os.open("/etc/hostname", 0)
+
+
+def _violate_os_system(vfs):
+    os.system("true")
+
+
+def _violate_os_popen(vfs):
+    os.popen("true")
+
+
+def _violate_os_remove(vfs):
+    os.remove("/tmp/x")
+
+
+def _violate_os_rename(vfs):
+    os.rename("/tmp/x", "/tmp/y")
+
+
+def _violate_os_mkdir(vfs):
+    os.mkdir("/tmp/x")
+
+
+def _violate_os_unlink(vfs):
+    os.unlink("/tmp/x")
+
+
+def _violate_os_rmdir(vfs):
+    os.rmdir("/tmp/x")
+
+
+def _violate_os_replace(vfs):
+    os.replace("/tmp/x", "/tmp/y")
+
+
+def _violate_pathlib_open(vfs):
+    pathlib.Path("/etc/hostname").open()
+
+
+def _violate_socket(vfs):
+    socket.socket()
+
+
+def _violate_create_connection(vfs):
+    socket.create_connection(("localhost", 80))
+
+
+def _violate_socketpair(vfs):
+    socket.socketpair()
+
+
+def _violate_subprocess_popen(vfs):
+    subprocess.Popen(["true"])
+
+
+def _violate_subprocess_run(vfs):
+    subprocess.run(["true"])
+
+
+def _violate_thread_start(vfs):
+    threading.Thread(target=vfs).start()
+
+
+def violation_corpus() -> list[tuple[str, FunctionBinary]]:
+    """(operation, violating FunctionBinary) pairs covering the dynamic
+    guard's blocked-operation surface."""
+    violations = [
+        ("open", _violate_builtin_open),
+        ("io.open", _violate_io_open),
+        ("os.open", _violate_os_open),
+        ("os.system", _violate_os_system),
+        ("os.popen", _violate_os_popen),
+        ("os.remove", _violate_os_remove),
+        ("os.rename", _violate_os_rename),
+        ("os.mkdir", _violate_os_mkdir),
+        ("os.unlink", _violate_os_unlink),
+        ("os.rmdir", _violate_os_rmdir),
+        ("os.replace", _violate_os_replace),
+        ("pathlib.Path.open", _violate_pathlib_open),
+        ("socket.socket", _violate_socket),
+        ("socket.create_connection", _violate_create_connection),
+        ("socket.socketpair", _violate_socketpair),
+        ("subprocess.Popen", _violate_subprocess_popen),
+        ("subprocess.run", _violate_subprocess_run),
+        ("threading.Thread.start", _violate_thread_start),
+    ]
+    return [
+        (operation, FunctionBinary(name=f"violates_{index}", entry_point=fn))
+        for index, (operation, fn) in enumerate(violations)
+    ]
+
+
+def run_sec8_static() -> ExperimentResult:
+    """Static-vs-dynamic catch rates over the violation corpus.
+
+    ``dynamic`` means the purity guard raised :class:`SyscallBlocked`
+    when the function ran; ``static`` means
+    ``register_function(verify="strict")`` rejected the function before
+    it could run at all.
+    """
+    result = ExperimentResult(
+        name="§8 static verification",
+        description="Violation corpus: dynamic guard vs registration-time verifier",
+        headers=["operation", "dynamic", "static"],
+    )
+    dynamic_caught = 0
+    static_caught = 0
+    for operation, binary in violation_corpus():
+        dynamic = False
+        with purity_guard():
+            try:
+                binary.entry_point(None)
+            except SyscallBlocked:
+                dynamic = True
+            except Exception:  # noqa: BLE001 - corpus calls with dummy args
+                pass
+        registry = Registry()
+        static = False
+        try:
+            registry.register_function(binary, verify="strict")
+        except PurityVerificationError:
+            static = True
+        dynamic_caught += dynamic
+        static_caught += static
+        result.add_row(operation=operation, dynamic=dynamic, static=static)
+    total = len(result.rows)
+    catch_pct = 100.0 * static_caught / dynamic_caught if dynamic_caught else 0.0
+    result.note(
+        f"dynamic guard blocked {dynamic_caught}/{total}; static verifier "
+        f"rejected {static_caught}/{total} at registration "
+        f"({catch_pct:.0f}% of the dynamically-caught corpus)"
+    )
     return result

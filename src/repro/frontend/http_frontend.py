@@ -44,8 +44,12 @@ class Frontend(HttpService):
 
     # -- programmatic API ---------------------------------------------------
 
-    def register_function(self, binary: FunctionBinary) -> None:
-        self.registry.register_function(binary)
+    def register_function(
+        self, binary: FunctionBinary, verify: Optional[str] = None
+    ) -> None:
+        """Register a function; ``verify="warn"|"strict"`` runs the
+        static purity verifier at registration time (§4.1)."""
+        self.registry.register_function(binary, verify=verify)
 
     def register_composition(self, composition_or_source) -> Composition:
         """Register a Composition object or composition-language source."""

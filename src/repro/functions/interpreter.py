@@ -14,6 +14,7 @@ source, like a shipped artifact.
 from __future__ import annotations
 
 import builtins
+import types
 from typing import Callable, Optional
 
 from ..composition.registry import FunctionBinary
@@ -79,6 +80,13 @@ def python_function_from_source(
         raise SourceError(
             f"function {name!r} does not define a callable {entry_point!r}"
         )
+    # Stash the source on every function the module defined, so the
+    # static purity verifier (repro.analysis.purity_check) can parse
+    # sourced functions — and their helpers — instead of falling back
+    # to a bytecode scan.
+    for value in namespace.values():
+        if isinstance(value, types.FunctionType):
+            value.__dandelion_source__ = source
     return FunctionBinary(
         name=name,
         entry_point=entry,

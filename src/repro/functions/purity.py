@@ -38,6 +38,7 @@ from __future__ import annotations
 import builtins
 import io
 import os
+import pathlib
 import socket
 import subprocess
 import threading
@@ -58,8 +59,13 @@ PURITY_BLOCKED_OPERATIONS = [
     ("os.remove", os, "remove"),
     ("os.rename", os, "rename"),
     ("os.mkdir", os, "mkdir"),
+    ("os.unlink", os, "unlink"),
+    ("os.rmdir", os, "rmdir"),
+    ("os.replace", os, "replace"),
+    ("pathlib.Path.open", pathlib.Path, "open"),
     ("socket.socket", socket, "socket"),
     ("socket.create_connection", socket, "create_connection"),
+    ("socket.socketpair", socket, "socketpair"),
     ("subprocess.Popen", subprocess, "Popen"),
     ("subprocess.run", subprocess, "run"),
     ("threading.Thread.start", threading.Thread, "start"),

@@ -79,7 +79,7 @@ class SimulatedNetwork:
         try:
             return self._services[host]
         except KeyError:
-            raise KeyError(f"no service registered for host {host!r}")
+            raise KeyError(f"no service registered for host {host!r}") from None
 
     @property
     def hosts(self) -> list[str]:

@@ -80,7 +80,7 @@ class Table:
         try:
             return self._columns[name]
         except KeyError:
-            raise TableError(f"table {self.name!r} has no column {name!r}")
+            raise TableError(f"table {self.name!r} has no column {name!r}") from None
 
     def __contains__(self, name: str) -> bool:
         return name in self._columns

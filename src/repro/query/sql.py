@@ -155,7 +155,7 @@ class _Parser:
                 try:
                     limit_count = int(self.next())
                 except ValueError:
-                    raise SqlError("LIMIT expects an integer")
+                    raise SqlError("LIMIT expects an integer") from None
             else:
                 raise SqlError(f"unexpected token {token!r}")
         return SqlQuery(select, table, where, group_by, order_by, order_desc, limit_count)
@@ -223,7 +223,7 @@ class _Parser:
                 return float(token)
             return int(token)
         except ValueError:
-            raise SqlError(f"expected a literal, got {token!r}")
+            raise SqlError(f"expected a literal, got {token!r}") from None
 
     def _name_list(self) -> list[str]:
         names = [self.next()]
@@ -270,7 +270,7 @@ class SqlDatabase:
         try:
             return self._tables[name]
         except KeyError:
-            raise SqlError(f"no table {name!r}")
+            raise SqlError(f"no table {name!r}") from None
 
     def execute(self, sql: str) -> Table:
         """Run a SELECT and return the result as a table."""

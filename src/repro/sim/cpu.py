@@ -54,6 +54,21 @@ class _Job:
 class ProcessorSharingCpu:
     """An n-core CPU shared fairly among active jobs."""
 
+    __slots__ = (
+        "env",
+        "cores",
+        "switch_overhead_seconds",
+        "oversubscribed_efficiency",
+        "_heap",
+        "_seq",
+        "_vtime",
+        "_last_update",
+        "_timer",
+        "_timer_deadline",
+        "jobs_completed",
+        "_done_work",
+    )
+
     def __init__(
         self,
         env: Environment,

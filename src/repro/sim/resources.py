@@ -31,6 +31,8 @@ __all__ = ["Resource", "Request", "Store", "PriorityStore"]
 class Request(Event):
     """A pending claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -57,6 +59,8 @@ class Resource:
     ``capacity`` slots exist; requests beyond capacity wait in arrival
     order.  ``count`` reports slots currently held.
     """
+
+    __slots__ = ("env", "_capacity", "_queue", "_users")
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
@@ -89,7 +93,7 @@ class Resource:
         try:
             self._users.remove(request)
         except ValueError:
-            raise SimulationError("releasing a request that was never granted")
+            raise SimulationError("releasing a request that was never granted") from None
         self._trigger()
 
     def acquire(self):
@@ -120,6 +124,8 @@ class Resource:
 
 
 class _ResourceContext:
+    __slots__ = ("resource", "request")
+
     def __init__(self, resource: Resource):
         self.resource = resource
         self.request: Optional[Request] = None
@@ -142,6 +148,8 @@ class Store:
     ``capacity`` bounds the number of stored items (``inf`` by
     default).  ``get`` returns an event carrying the item.
     """
+
+    __slots__ = ("env", "capacity", "_items", "_getters", "_putters")
 
     def __init__(self, env: Environment, capacity: float = float("inf")):
         if capacity <= 0:
@@ -219,6 +227,8 @@ class PriorityStore(Store):
     Items are ``(priority, item)`` tuples on ``put``; ``get`` returns
     just the item.  Ties are broken by insertion order.
     """
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self, env: Environment, capacity: float = float("inf")):
         super().__init__(env, capacity)

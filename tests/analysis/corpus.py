@@ -1,0 +1,170 @@
+"""Shared fixture corpus of composition-language sources.
+
+Used by both the DSL parse-error tests (tests/composition/test_dsl.py)
+and the composition-linter tests (tests/analysis/test_composition_lint.py),
+so the two suites agree on what "malformed" means.
+"""
+
+# A well-formed two-stage pipeline; the baseline for mutations below.
+VALID_PIPELINE = """
+composition pipeline {
+    compute first uses first_fn in(x) out(y);
+    compute second uses second_fn in(y) out(z);
+    input x -> first.x;
+    first.y -> second.y [all];
+    output second.z -> result;
+}
+"""
+
+# (name, source, substring expected in the DslError message)
+MALFORMED = [
+    (
+        "missing_arrow_in_edge",
+        """
+        composition bad {
+            compute a uses f in(x) out(y);
+            input x -> a.x;
+            a.y a.x;
+            output a.y -> result;
+        }
+        """,
+        "expected '->'",
+    ),
+    (
+        "unknown_distribution_keyword",
+        """
+        composition bad {
+            compute a uses f in(x) out(y);
+            compute b uses g in(y) out(z);
+            input x -> a.x;
+            a.y -> b.y [sometimes];
+            output b.z -> result;
+        }
+        """,
+        "unknown distribution",
+    ),
+    (
+        "duplicate_set_names",
+        """
+        composition bad {
+            compute a uses f in(x, x) out(y);
+            input x -> a.x;
+            output a.y -> result;
+        }
+        """,
+        "duplicate input set",
+    ),
+    (
+        "missing_closing_brace",
+        """
+        composition bad {
+            compute a uses f in(x) out(y);
+            input x -> a.x;
+            output a.y -> result;
+        """,
+        "missing closing '}'",
+    ),
+    (
+        "missing_semicolon",
+        """
+        composition bad {
+            compute a uses f in(x) out(y)
+            input x -> a.x;
+            output a.y -> result;
+        }
+        """,
+        "expected ';'",
+    ),
+    (
+        "unexpected_character",
+        """
+        composition bad {
+            compute a uses f in(x) out(y);
+            input x -> a.x!
+            output a.y -> result;
+        }
+        """,
+        "unexpected character",
+    ),
+    (
+        "unknown_nested_composition",
+        """
+        composition bad {
+            compose inner uses does_not_exist;
+            input x -> inner.x;
+            output inner.y -> result;
+        }
+        """,
+        "unknown composition",
+    ),
+    (
+        "edge_to_unknown_node",
+        """
+        composition bad {
+            compute a uses f in(x) out(y);
+            input x -> a.x;
+            a.y -> ghost.y [all];
+            output a.y -> result;
+        }
+        """,
+        "unknown node",
+    ),
+    (
+        "no_outputs",
+        """
+        composition bad {
+            compute a uses f in(x) out(y);
+            input x -> a.x;
+        }
+        """,
+        "at least one output",
+    ),
+    (
+        "empty_source",
+        "   # only a comment\n",
+        "empty composition source",
+    ),
+]
+
+# Well-formed sources that the linter should flag (name, source, code).
+LINTABLE = [
+    (
+        "unused_output_set",
+        """
+        composition wasteful {
+            compute a uses f in(x) out(y, debug);
+            input x -> a.x;
+            output a.y -> result;
+        }
+        """,
+        "CMP001",
+    ),
+    (
+        "dead_end_vertex",
+        """
+        composition deadend {
+            compute a uses f in(x) out(y);
+            compute sink uses g in(y) out(z);
+            input x -> a.x;
+            a.y -> sink.y [all];
+            output a.y -> result;
+        }
+        """,
+        "CMP002",
+    ),
+    (
+        "fanout_into_comm",
+        """
+        composition fanout {
+            compute expand uses f in(x) out(requests);
+            comm fetch protocol http;
+            compute fold uses g in(pages) out(summary);
+            input x -> expand.x;
+            expand.requests -> fetch.request [each];
+            fetch.response -> fold.pages [all];
+            output fold.summary -> result;
+        }
+        """,
+        "CMP003",
+    ),
+]

@@ -1,0 +1,97 @@
+"""Tests for the shared diagnostics core: records, renderers, baseline."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    Baseline,
+    Diagnostic,
+    ERROR,
+    WARNING,
+    render_json,
+    render_text,
+)
+
+
+def _diag(code="PUR001", severity=ERROR, file="src/repro/a.py", line=3,
+          symbol="fn", message="boom", hint=None):
+    return Diagnostic(code, severity, message, file=file, line=line,
+                      symbol=symbol, hint=hint)
+
+
+def test_severity_validated():
+    with pytest.raises(ValueError):
+        Diagnostic("X001", "fatal", "nope")
+
+
+def test_fingerprint_is_line_independent():
+    a = _diag(line=3)
+    b = _diag(line=300)
+    assert a.fingerprint == b.fingerprint == "PUR001::src/repro/a.py::fn"
+
+
+def test_fingerprint_placeholders_for_missing_fields():
+    diag = Diagnostic("DET001", ERROR, "m")
+    assert diag.fingerprint == "DET001::<none>::<none>"
+
+
+def test_render_text_summary_and_hints():
+    report = render_text([
+        _diag(hint="do the thing"),
+        _diag(code="DET004", severity=WARNING, message="slow"),
+    ])
+    assert "1 error(s), 1 warning(s)" in report
+    assert "hint: do the thing" in report
+    assert "src/repro/a.py:3 (fn): error PUR001: boom" in report
+
+
+def test_render_text_orders_errors_first_on_ties():
+    report = render_text([
+        _diag(code="ZZZ1", severity=WARNING, message="later"),
+        _diag(code="AAA1", severity=ERROR, message="first"),
+    ])
+    assert report.index("AAA1") < report.index("ZZZ1")
+
+
+def test_render_json_schema():
+    payload = json.loads(render_json([_diag()]))
+    assert payload["schema"] == "repro-lint/v1"
+    assert payload["errors"] == 1 and payload["warnings"] == 0
+    assert payload["diagnostics"][0]["code"] == "PUR001"
+    assert payload["diagnostics"][0]["line"] == 3
+
+
+def test_baseline_round_trip(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    findings = [_diag(), _diag(line=9), _diag(code="DET001")]
+    Baseline.from_diagnostics(findings).write(path)
+    loaded = Baseline.load(path)
+    new, suppressed = loaded.filter(findings)
+    assert new == []
+    assert len(suppressed) == 3
+
+
+def test_baseline_budget_limits_repeat_findings():
+    baseline = Baseline.from_diagnostics([_diag()])
+    new, suppressed = baseline.filter([_diag(line=1), _diag(line=2)])
+    assert len(suppressed) == 1
+    assert len(new) == 1  # the extra occurrence surfaces
+
+
+def test_baseline_survives_line_churn():
+    baseline = Baseline.from_diagnostics([_diag(line=10)])
+    new, suppressed = baseline.filter([_diag(line=999)])
+    assert new == [] and len(suppressed) == 1
+
+
+def test_baseline_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema": "other/v0", "suppressions": {}}')
+    with pytest.raises(ValueError):
+        Baseline.load(str(path))
+
+
+def test_missing_baseline_suppresses_nothing():
+    new, suppressed = Baseline().filter([_diag()])
+    assert len(new) == 1 and suppressed == []

@@ -1,0 +1,182 @@
+"""Tests for the static purity verifier (PUR codes, write summaries)."""
+
+import os
+import random
+import socket
+
+import pytest
+
+from repro.analysis.purity_check import verify_purity
+from repro.composition.registry import FunctionBinary
+from repro.functions.interpreter import python_function_from_source
+from repro.functions.sdk import read_items, write_item
+
+
+# -- corpus: module-level so `_resolve` sees them in __globals__ ------------
+
+
+def clean_fn(vfs):
+    items = read_items(vfs, "numbers")
+    total = sum(int(item.data) for item in items)
+    write_item(vfs, "sums", "total", str(total).encode())
+
+
+def writes_via_vfs_methods(vfs):
+    vfs.write_bytes("/out/primary/result", b"x")
+    vfs.write_text(f"/out/log/line-0", "done")
+
+
+def imports_os_locally(vfs):
+    import os as operating_system
+    return operating_system
+
+
+def reaches_os_system(vfs):
+    os.system("true")
+
+
+def calls_open(vfs):
+    open("/etc/hostname")
+
+
+def uses_eval(vfs):
+    eval("1 + 1")
+
+
+def mutates_global(vfs):
+    global _COUNTER
+    _COUNTER = 1
+
+
+def generator_entry(vfs):
+    yield b"chunk"
+
+
+def reads_wall_clock(vfs):
+    import time
+    return time.time()
+
+
+def _helper_that_violates(data):
+    return socket.socket()
+
+
+def delegates_to_helper(vfs):
+    return _helper_that_violates(vfs)
+
+
+def vfs_escapes(vfs):
+    consumer = print
+    consumer(vfs)
+    write_item(vfs, "out_set", "item", b"")
+
+
+def seeded_rng_fn(vfs):
+    rng = random.Random(7)
+    return rng.random()
+
+
+# -- diagnostics ------------------------------------------------------------
+
+
+def _codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+def test_clean_function_passes():
+    report = verify_purity(clean_fn)
+    assert report.ok
+    assert report.diagnostics == []
+
+
+def test_local_import_of_blocked_module():
+    report = verify_purity(imports_os_locally)
+    assert not report.ok
+    assert "PUR001" in _codes(report)
+
+
+def test_attribute_reach_into_blocked_module():
+    report = verify_purity(reaches_os_system)
+    assert not report.ok
+    assert "PUR002" in _codes(report)
+
+
+def test_builtin_open_call():
+    report = verify_purity(calls_open)
+    assert "PUR003" in _codes(report)
+
+
+def test_dynamic_execution():
+    report = verify_purity(uses_eval)
+    assert "PUR004" in _codes(report)
+
+
+def test_global_mutation():
+    report = verify_purity(mutates_global)
+    assert "PUR005" in _codes(report)
+
+
+def test_generator_entry_point():
+    report = verify_purity(generator_entry)
+    assert "PUR006" in _codes(report)
+
+
+def test_nondeterminism_is_warning_not_error():
+    report = verify_purity(reads_wall_clock)
+    assert report.ok  # warnings only
+    assert "PUR010" in _codes(report)
+
+
+def test_seeded_rng_is_allowed():
+    report = verify_purity(seeded_rng_fn)
+    # random.Random is the sanctioned construction: no nondeterminism
+    # warning for it (rng.random() is a local-name method call).
+    assert "PUR010" not in _codes(report)
+    assert report.ok
+
+
+def test_transitive_helper_is_followed():
+    report = verify_purity(delegates_to_helper)
+    assert not report.ok
+    assert "PUR002" in _codes(report)
+    # The finding names the call chain.
+    assert any("->" in (d.symbol or "") for d in report.diagnostics)
+
+
+def test_no_source_falls_back_gracefully():
+    report = verify_purity(len)  # C builtin: no source, no __code__
+    assert "PUR090" in _codes(report)
+    assert not report.analyzed
+
+
+def test_function_binary_target():
+    binary = FunctionBinary(name="sys_caller", entry_point=reaches_os_system)
+    report = verify_purity(binary)
+    assert report.name == "sys_caller"
+    assert not report.ok
+
+
+def test_sourced_function_is_statically_analyzable():
+    source = "def fn(vfs):\n    import os\n    os.system('true')\n"
+    binary = python_function_from_source("src_fn", source, entry_point="fn")
+    report = verify_purity(binary)
+    assert not report.ok
+    assert "PUR001" in _codes(report)
+
+
+# -- write summaries --------------------------------------------------------
+
+
+def test_write_summary_from_sdk_writer():
+    report = verify_purity(clean_fn)
+    assert report.written_sets == frozenset({"sums"})
+
+
+def test_write_summary_from_vfs_methods():
+    report = verify_purity(writes_via_vfs_methods)
+    assert report.written_sets == frozenset({"primary", "log"})
+
+
+def test_write_summary_invalidated_when_vfs_escapes():
+    report = verify_purity(vfs_escapes)
+    assert report.written_sets is None

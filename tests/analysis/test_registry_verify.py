@@ -1,0 +1,87 @@
+"""Registration-time purity verification (Registry verify= modes)."""
+
+import os
+
+import pytest
+
+from repro.analysis.purity_check import PurityWarning
+from repro.composition import PurityVerificationError, Registry
+from repro.composition.registry import FunctionBinary, RegistryError
+from repro.functions.sdk import write_item
+
+
+def pure_fn(vfs):
+    write_item(vfs, "out", "item", b"ok")
+
+
+def impure_fn(vfs):
+    os.system("true")
+
+
+def nondeterministic_fn(vfs):
+    import time
+    write_item(vfs, "out", "stamp", str(time.time()).encode())
+
+
+def test_default_registration_skips_verification():
+    registry = Registry()
+    registry.register_function(FunctionBinary(name="f", entry_point=impure_fn))
+    assert registry.has_function("f")
+
+
+def test_strict_rejects_impure_function():
+    registry = Registry()
+    with pytest.raises(PurityVerificationError) as excinfo:
+        registry.register_function(
+            FunctionBinary(name="f", entry_point=impure_fn), verify="strict"
+        )
+    assert not registry.has_function("f")
+    assert excinfo.value.diagnostics  # findings travel with the error
+    assert any(d.code == "PUR002" for d in excinfo.value.diagnostics)
+
+
+def test_strict_accepts_pure_function():
+    registry = Registry()
+    registry.register_function(
+        FunctionBinary(name="f", entry_point=pure_fn), verify="strict"
+    )
+    assert registry.has_function("f")
+
+
+def test_warn_mode_registers_with_warning():
+    registry = Registry()
+    with pytest.warns(PurityWarning):
+        registry.register_function(
+            FunctionBinary(name="f", entry_point=impure_fn), verify="warn"
+        )
+    assert registry.has_function("f")
+
+
+def test_strict_allows_warning_level_findings():
+    # Nondeterminism is warning severity: strict verification still
+    # registers, but surfaces the finding as a PurityWarning.
+    registry = Registry()
+    with pytest.warns(PurityWarning):
+        registry.register_function(
+            FunctionBinary(name="f", entry_point=nondeterministic_fn),
+            verify="strict",
+        )
+    assert registry.has_function("f")
+
+
+def test_unknown_verify_mode_rejected():
+    registry = Registry()
+    with pytest.raises(RegistryError):
+        registry.register_function(
+            FunctionBinary(name="f", entry_point=pure_fn), verify="always"
+        )
+
+
+def test_frontend_passes_verify_through():
+    from repro.worker import WorkerConfig, WorkerNode
+
+    worker = WorkerNode(WorkerConfig(total_cores=2, control_plane_enabled=False))
+    with pytest.raises(PurityVerificationError):
+        worker.frontend.register_function(
+            FunctionBinary(name="f", entry_point=impure_fn), verify="strict"
+        )

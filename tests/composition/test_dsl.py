@@ -212,3 +212,35 @@ def test_parse_result_is_validated_composition():
     order = composition.topological_order
     assert order.index("access") < order.index("auth") < order.index("fanout")
     assert order.index("fetch") < order.index("render")
+
+
+# -- parse-error corpus (shared with tests/analysis/test_composition_lint) --
+
+
+def test_malformed_corpus_rejected_with_messages():
+    from repro.composition import CompositionError
+    from tests.analysis.corpus import MALFORMED
+
+    for name, source, expected in MALFORMED:
+        with pytest.raises(CompositionError, match=expected):
+            parse_composition(source)
+
+
+def test_malformed_corpus_errors_carry_line_numbers():
+    from tests.analysis.corpus import MALFORMED
+
+    for name, source, _expected in MALFORMED:
+        try:
+            parse_composition(source)
+        except DslError as exc:
+            assert exc.line >= 1, name
+        except Exception:
+            pass  # node-level CompositionErrors have no line info
+
+
+def test_valid_corpus_pipeline_parses():
+    from tests.analysis.corpus import VALID_PIPELINE
+
+    composition = parse_composition(VALID_PIPELINE)
+    assert composition.name == "pipeline"
+    assert composition.topological_order == ["first", "second"]

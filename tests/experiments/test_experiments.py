@@ -208,6 +208,19 @@ def test_sec8_tables():
         assert row["blocked"] == row["attempts"]
 
 
+def test_sec8_static_catches_dynamic_corpus():
+    # Acceptance bar: the static verifier rejects >= 90% of what the
+    # dynamic guard catches, at registration time.
+    from repro.experiments.sec8_security import run_sec8_static
+
+    result = run_sec8_static()
+    dynamic = [row["operation"] for row in result.rows if row["dynamic"]]
+    static = [row["operation"] for row in result.rows if row["static"]]
+    assert len(dynamic) == len(result.rows)  # guard catches the whole corpus
+    caught = sum(1 for op in dynamic if op in static)
+    assert caught / len(dynamic) >= 0.9
+
+
 def test_fig09_scaling_model():
     from repro.experiments import dandelion_query_seconds, run_fig09_scaling
 

@@ -124,3 +124,30 @@ def test_guard_reentry_is_counter_only():
         with purity_guard():
             assert builtins.open is stub
         assert builtins.open is stub
+
+
+def test_os_unlink_rmdir_replace_blocked():
+    with purity_guard():
+        with pytest.raises(SyscallBlocked):
+            os.unlink("/tmp/nonexistent")
+        with pytest.raises(SyscallBlocked):
+            os.rmdir("/tmp/nonexistent")
+        with pytest.raises(SyscallBlocked):
+            os.replace("/tmp/a", "/tmp/b")
+
+
+def test_pathlib_open_blocked():
+    import pathlib
+
+    with purity_guard():
+        with pytest.raises(SyscallBlocked):
+            pathlib.Path("/etc/hostname").open()
+    # Restored: Path.open works again outside the guard.
+    with pathlib.Path(os.devnull).open("rb") as handle:
+        assert handle.read(0) == b""
+
+
+def test_socketpair_blocked():
+    with purity_guard():
+        with pytest.raises(SyscallBlocked):
+            socket.socketpair()

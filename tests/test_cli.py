@@ -54,3 +54,57 @@ def test_fig9_scale_factor_flag(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- lint command -----------------------------------------------------------
+
+
+def test_lint_self_strict_is_clean(capsys):
+    # The checked-in baseline grandfathers the bench/CLI wall clocks;
+    # anything new fails CI.
+    assert main(["lint", "--self", "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed by baseline" in out
+
+
+def test_lint_functions_and_compositions(capsys):
+    assert main(["lint", "--functions", "--compositions", "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "error(s)" in out
+
+
+def test_lint_json_format(capsys):
+    import json
+
+    assert main(["lint", "--self", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-lint/v1"
+
+
+def test_lint_write_and_use_baseline(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    assert main(["lint", "--self", "--baseline", baseline, "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--self", "--baseline", baseline, "--strict"]) == 0
+
+
+def test_lint_scans_paths_for_dsl_blocks(tmp_path, capsys):
+    script = tmp_path / "example.py"
+    script.write_text(
+        'DSL = """\n'
+        "composition broken {\n"
+        "    compute a uses f in(x) out(y);\n"
+        "    input x -> a.x;\n"
+        "}\n"
+        '"""\n'
+    )
+    code = main(["lint", "--compositions", str(script)])
+    out = capsys.readouterr().out
+    assert code == 1  # CMP000: no outputs declared
+    assert "CMP000" in out
+
+
+def test_lint_reports_sec8_static_table(capsys):
+    assert main(["run", "sec8"]) == 0
+    out = capsys.readouterr().out
+    assert "static verifier rejected" in out
