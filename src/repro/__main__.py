@@ -30,6 +30,7 @@ from .experiments import (
     run_fig01,
     run_fig09_scaling,
     run_sec61,
+    run_sec62,
     run_fig02,
     run_fig05,
     run_fig06,
@@ -52,6 +53,7 @@ EXPERIMENTS = {
     "fig5": ("Fig 5: sandbox-creation throughput, 0% hot", run_fig05),
     "fig6": ("Fig 6: 128x128 matmul throughput, 16 cores", run_fig06),
     "sec61": ("§6.1: fault tolerance, goodput/p99 under injected faults", run_sec61),
+    "sec62": ("§6.2: scheduling policy sweep, goodput/p99 vs fleet size", run_sec62),
     "sec74": ("§7.4: composition overhead vs chain depth", run_sec74),
     "fig7": ("Fig 7: compute/comm split vs D-hybrid", run_fig07),
     "fig8": ("Fig 8: multiplexing mixed apps under bursty load", run_fig08),

@@ -46,6 +46,8 @@ _WALLCLOCK_ATTRS = {
 
 # Modules whose classes went through the __slots__ conversion in PRs
 # 1–2; new instance-bearing classes here must keep the discipline.
+# The repro.sched policy/snapshot layer was born under it: snapshots
+# are built and policies consulted on every routed invocation.
 HOT_PATH_MODULES = (
     "sim/core.py",
     "sim/cpu.py",
@@ -55,6 +57,11 @@ HOT_PATH_MODULES = (
     "dispatcher/memory.py",
     "data/context.py",
     "data/items.py",
+    "sched/snapshots.py",
+    "sched/routing.py",
+    "sched/sandbox.py",
+    "sched/scaling.py",
+    "sched/cores.py",
 )
 
 _EXEMPT_BASE_HINTS = ("Error", "Exception", "Warning", "Enum", "Protocol", "ABC")

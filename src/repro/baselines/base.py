@@ -14,13 +14,20 @@ burn CPU (scaled by the platform's slowdown), ``io`` phases block
 without using CPU — which is how the mixed compute/I-O workloads of
 §7.5–7.6 are expressed on the baselines.
 
-Two sandbox policies cover the paper's setups:
+Two sandbox policies cover the paper's setups (both live in the
+unified scheduling layer, :mod:`repro.sched.sandbox`, and are
+re-exported here for compatibility):
 
 * :class:`FixedHotRatioPolicy` — each request is *hot* with fixed
   probability (the 97%-hot setting justified by the Azure trace, §7.3);
 * :class:`KeepAlivePolicy` — sandboxes stay warm for a keep-alive
   window after each request (the Knative-autoscaling memory behaviour
   of Figs 1 and 10).
+
+The per-request hot/cold/reuse decision routes through
+``policy.decide(SandboxSnapshot) -> SandboxChoice`` (docs/scheduling.md);
+the platform actuates the choice — scanning its idle pool, charging
+memory, arming reap timers.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from ..sched.sandbox import FixedHotRatioPolicy, KeepAlivePolicy, SandboxPolicy
+from ..sched.snapshots import SandboxSnapshot
 from ..sim.core import Environment
 from ..sim.cpu import ProcessorSharingCpu
 from ..sim.distributions import Rng
@@ -140,51 +149,6 @@ class RequestRecord:
         return self.finished_at - self.arrived_at
 
 
-class FixedHotRatioPolicy:
-    """Bernoulli hot/cold decision with a standing hot pool.
-
-    Hot requests are assumed to find a pre-provisioned sandbox (the
-    platform keeps ``hot_pool_size`` of them in memory per function);
-    cold requests boot a fresh sandbox that is torn down afterwards.
-    """
-
-    def __init__(self, hot_ratio: float, rng: Rng, hot_pool_size: int = 8):
-        if not 0.0 <= hot_ratio <= 1.0:
-            raise ValueError(f"hot_ratio {hot_ratio} out of range")
-        self.hot_ratio = hot_ratio
-        self.rng = rng
-        self.hot_pool_size = hot_pool_size
-
-    def standing_sandboxes(self, function: FunctionModel) -> int:
-        return self.hot_pool_size if self.hot_ratio > 0 else 0
-
-    def is_hot(self, platform: "FaasPlatform", function: FunctionModel) -> bool:
-        return self.rng.bernoulli(self.hot_ratio)
-
-    def keep_after_use(self) -> bool:
-        return False
-
-
-class KeepAlivePolicy:
-    """Sandboxes idle for ``keep_alive_seconds`` before being reclaimed.
-
-    This is the Knative-style autoscaling behaviour: every request that
-    finds an idle sandbox is warm; idle sandboxes hold memory until the
-    keep-alive window elapses.
-    """
-
-    def __init__(self, keep_alive_seconds: float):
-        if keep_alive_seconds < 0:
-            raise ValueError("keep_alive_seconds must be non-negative")
-        self.keep_alive_seconds = keep_alive_seconds
-
-    def standing_sandboxes(self, function: FunctionModel) -> int:
-        return 0
-
-    def keep_after_use(self) -> bool:
-        return self.keep_alive_seconds > 0
-
-
 class FaasPlatform:
     """A baseline FaaS worker node."""
 
@@ -193,7 +157,7 @@ class FaasPlatform:
         env: Environment,
         spec: PlatformSpec,
         cores: int,
-        policy,
+        policy: SandboxPolicy,
         rng: Optional[Rng] = None,
     ):
         self.env = env
@@ -303,11 +267,23 @@ class FaasPlatform:
         return record
 
     def _acquire(self, function: FunctionModel):
-        """Returns (sandbox_or_None, cold?)."""
-        if isinstance(self.policy, FixedHotRatioPolicy):
-            hot = self.policy.is_hot(self, function)
-            return None, not hot
+        """Returns (sandbox_or_None, cold?).
+
+        The hot/cold/reuse *decision* is the policy's
+        (``decide(SandboxSnapshot) -> SandboxChoice``); this method
+        actuates it against the idle pool.
+        """
         idle = self._idle[function.name]
+        choice = self.policy.decide(
+            SandboxSnapshot(self.env.now, function, len(idle))
+        )
+        kind = choice.kind
+        if kind == "hot":
+            # Served by the standing hot pool; no sandbox object changes.
+            return None, False
+        if kind == "cold":
+            return None, True
+        # "reuse": take the newest unexpired idle sandbox, else cold-start.
         while idle:
             sandbox = idle.pop()
             if sandbox.expires_at > self.env.now:

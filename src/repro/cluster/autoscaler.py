@@ -16,15 +16,26 @@ each revision on *observed concurrency*:
 per-function pod pools driven by this controller.  Requests that find
 no ready pod cold-start one (and the autoscaler may pre-provision pods
 ahead of demand, which plain keep-alive cannot).
+
+The scaling arithmetic itself lives in the unified scheduling layer
+(:class:`~repro.sched.scaling.KpaScalingPolicy`, docs/scheduling.md):
+each evaluation tick builds one immutable
+:class:`~repro.sched.snapshots.PoolSnapshot` per function and asks the
+policy for a :class:`~repro.sched.scaling.ScaleChoice`; this platform
+only actuates — creating pre-provisioned pods, holding scale-downs
+through the stable window and scale-to-zero grace period.  Alternative
+scalers slot in via the ``scaling_policy`` constructor argument.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 
 from ..baselines.base import FaasPlatform, FunctionModel, PlatformSpec, Sandbox
+from ..sched.sandbox import SandboxChoice, SandboxPolicy
+from ..sched.scaling import KpaScalingPolicy
+from ..sched.snapshots import PoolSnapshot, SandboxSnapshot
 from ..sim.core import Environment
 from ..sim.distributions import Rng
 
@@ -84,6 +95,18 @@ class _FunctionPool:
             return float(self.busy_count)
         return sum(values) / len(values)
 
+    def snapshot(self, now: float, stable_window: float, panic_window: float) -> PoolSnapshot:
+        """Immutable view for the scaling policy at one evaluation tick."""
+        return PoolSnapshot(
+            self.function.name,
+            now,
+            len(self.ready),
+            self.busy_count,
+            self.provisioned,
+            self.windowed_average(now, stable_window),
+            self.windowed_average(now, panic_window),
+        )
+
 
 class KnativeFaasPlatform(FaasPlatform):
     """FaaS platform whose pods are managed by a Knative-style KPA."""
@@ -95,10 +118,12 @@ class KnativeFaasPlatform(FaasPlatform):
         cores: int,
         config: KnativeConfig = KnativeConfig(),
         rng: Optional[Rng] = None,
+        scaling_policy=None,
     ):
         # The parent's policy machinery is unused; pods are ours.
         super().__init__(env, spec, cores, policy=_NullPolicy(), rng=rng)
         self.config = config
+        self.scaling_policy = scaling_policy or KpaScalingPolicy(config)
         self._pools: dict[str, _FunctionPool] = {}
         self.scale_ups = 0
         self.scale_downs = 0
@@ -117,12 +142,15 @@ class KnativeFaasPlatform(FaasPlatform):
     def _acquire(self, function: FunctionModel):
         pool = self._pools[function.name]
         pool.zero_since = None
-        if pool.ready:
+        take_warm = self.scaling_policy.acquire_warm(
+            SandboxSnapshot(self.env.now, function, len(pool.ready))
+        )
+        if take_warm and pool.ready:
             sandbox = pool.ready.pop()
             sandbox.busy = True
             pool.busy_count += 1
         else:
-            # No ready pod: cold start one.
+            # No ready pod (or the policy declined one): cold start.
             pool.busy_count += 1
             sandbox = None
         # Sample at arrival too, so bursts between evaluation ticks are
@@ -153,22 +181,21 @@ class KnativeFaasPlatform(FaasPlatform):
             now = self.env.now
             for pool in self._pools.values():
                 pool.record(now, config.stable_window_seconds)
-                stable = pool.windowed_average(now, config.stable_window_seconds)
-                panic = pool.windowed_average(now, config.panic_window_seconds)
-                capacity = max(pool.current_pods, 1) * config.target_concurrency
-                in_panic = panic >= config.panic_threshold * capacity
-                if in_panic:
-                    self.panic_entries += 1
-                observed = max(stable, panic) if in_panic else stable
-                desired = min(
-                    config.max_pods_per_function,
-                    math.ceil(observed / config.target_concurrency),
+                choice = self.scaling_policy.decide(
+                    pool.snapshot(
+                        now,
+                        config.stable_window_seconds,
+                        config.panic_window_seconds,
+                    )
                 )
+                if choice.in_panic:
+                    self.panic_entries += 1
+                desired = choice.desired_pods
                 if desired > pool.current_pods:
                     self._scale_up(pool, desired - pool.current_pods)
                     pool.last_scale_down_vote = None
                 elif desired < pool.current_pods:
-                    self._maybe_scale_down(pool, desired, now, in_panic)
+                    self._maybe_scale_down(pool, desired, now, choice.in_panic)
                 else:
                     pool.last_scale_down_vote = None
 
@@ -216,8 +243,14 @@ class KnativeFaasPlatform(FaasPlatform):
         return len(self._pools[function_name].ready)
 
 
-class _NullPolicy:
-    """Placeholder satisfying the parent constructor; never consulted."""
+class _NullPolicy(SandboxPolicy):
+    """Placeholder satisfying the parent constructor; the platform
+    overrides ``_acquire``/``_release`` so it is never consulted."""
+
+    __slots__ = ()
+
+    def decide(self, snapshot) -> SandboxChoice:  # pragma: no cover - unused
+        return SandboxChoice("cold")
 
     def standing_sandboxes(self, function) -> int:
         return 0

@@ -8,13 +8,24 @@ be used."
 The :class:`ClusterManager` owns a fleet of :class:`WorkerNode`\\ s that
 share one simulation environment and one simulated network (so they see
 the same remote services), replicates function/composition
-registrations across the fleet, and routes invocations with a pluggable
-load-balancing policy:
+registrations across the fleet, and routes invocations through a
+pluggable :class:`~repro.sched.routing.RoutingPolicy` (see
+docs/scheduling.md).  Policies are named in the back-compat
+:data:`ROUTING_POLICIES` registry or passed as objects:
 
-* ``round_robin`` — rotate through workers;
+* ``round_robin`` — rotate over the stable worker-index ring;
 * ``least_loaded`` — fewest in-flight invocations (Dirigent-style
   just-in-time placement);
-* ``random`` — seeded uniform choice.
+* ``random`` — seeded uniform choice;
+* ``jsq`` — power-of-d-choices sampling (d=2);
+* ``locality`` — prefer workers with warm binary caches for the
+  invoked composition.
+
+Routing decisions consume an immutable
+:class:`~repro.sched.snapshots.ClusterSnapshot` built in O(1): the
+healthy-index ring is maintained incrementally on
+``fail_worker``/``restore_worker``/``add_worker`` rather than rebuilt
+per invocation.
 
 Workers can also be added while the cluster is running (scale-out);
 previously registered functions and compositions are replayed onto the
@@ -32,22 +43,21 @@ drives these transitions from seeded MTTF/MTTR distributions.
 
 from __future__ import annotations
 
-import itertools
-from typing import Optional
+from typing import Optional, Union
 
 from ..composition.graph import Composition
 from ..composition.registry import FunctionBinary
 from ..dispatcher.dispatcher import InvocationResult
 from ..errors import InvocationError, WorkerCrashed
 from ..net.network import LatencyModel, SimulatedNetwork
+from ..sched import ClusterSnapshot, RoutingPolicy, make_routing_policy
+from ..sched.routing import ROUTING_POLICIES
 from ..sim.core import Environment, Interrupt
 from ..sim.distributions import Rng
 from ..sim.metrics import LatencyRecorder
 from ..worker import WorkerConfig, WorkerNode
 
 __all__ = ["ClusterManager", "ROUTING_POLICIES"]
-
-ROUTING_POLICIES = ("round_robin", "least_loaded", "random")
 
 # Cluster-manager hop: routing decision + request forwarding.
 _ROUTING_OVERHEAD_SECONDS = 50e-6
@@ -60,7 +70,7 @@ class ClusterManager:
         self,
         worker_count: int = 2,
         worker_config: Optional[WorkerConfig] = None,
-        policy: str = "least_loaded",
+        policy: Union[str, RoutingPolicy] = "least_loaded",
         env: Optional[Environment] = None,
         network: Optional[SimulatedNetwork] = None,
         seed: int = 0,
@@ -68,22 +78,25 @@ class ClusterManager:
     ):
         if worker_count < 1:
             raise ValueError("cluster needs at least one worker")
-        if policy not in ROUTING_POLICIES:
-            raise ValueError(
-                f"unknown policy {policy!r}; expected one of {ROUTING_POLICIES}"
-            )
         self.env = env or Environment()
         self.network = network or SimulatedNetwork(self.env, LatencyModel())
-        self.policy = policy
         self._rng = Rng(seed)
-        self._round_robin = itertools.count()
+        self.routing_policy = make_routing_policy(policy, self._rng)
+        # Back-compat: `.policy` stays the string name experiments log.
+        self.policy = policy if isinstance(policy, str) else self.routing_policy.name
         self._config = worker_config or WorkerConfig()
         self.max_reroutes = max_reroutes
         self.workers: list[WorkerNode] = []
         self._functions: list[FunctionBinary] = []
         self._compositions: list = []
+        # Function names used by each registered composition, sorted for
+        # deterministic locality scoring (snapshot contract).
+        self._composition_functions: dict[str, tuple] = {}
         self._in_flight: dict[int, int] = {}
         self._healthy: dict[int, bool] = {}
+        # Healthy-index ring, maintained incrementally so the fault-free
+        # routing fast path builds its snapshot in O(1).
+        self._healthy_indices: tuple = ()
         # Cluster-side processes waiting on each worker; interrupted
         # (and re-routed) when that worker fail-stops.
         self._crash_waiters: dict[int, set] = {}
@@ -109,6 +122,7 @@ class ClusterManager:
         self.workers.append(worker)
         self._in_flight[index] = 0
         self._healthy[index] = True
+        self._refresh_healthy_indices()
         self._crash_waiters[index] = set()
         self.per_worker_invocations[index] = 0
         self.per_worker_failures[index] = 0
@@ -129,10 +143,17 @@ class ClusterManager:
 
     @property
     def healthy_worker_count(self) -> int:
-        return sum(1 for healthy in self._healthy.values() if healthy)
+        return len(self._healthy_indices)
 
     def is_healthy(self, index: int) -> bool:
         return self._healthy[index]
+
+    def _refresh_healthy_indices(self) -> None:
+        """Rebuild the healthy ring on membership changes (rare: add,
+        fail, restore) so routing never rescans the fleet."""
+        self._healthy_indices = tuple(
+            index for index, ok in self._healthy.items() if ok
+        )
 
     # -- fail-stop fault domain (§6.1) ----------------------------------------
 
@@ -151,6 +172,7 @@ class ClusterManager:
         if not self._healthy[index]:
             raise ValueError(f"worker {index} is already failed")
         self._healthy[index] = False
+        self._refresh_healthy_indices()
         self.worker_crashes += 1
         self.per_worker_crashes[index] += 1
         cause = WorkerCrashed(index)
@@ -175,6 +197,7 @@ class ClusterManager:
         worker = self._fresh_worker()
         self.workers[index] = worker
         self._healthy[index] = True
+        self._refresh_healthy_indices()
         self._in_flight[index] = 0
         self.worker_restores += 1
         return worker
@@ -192,26 +215,39 @@ class ClusterManager:
             registered = worker.frontend.register_composition(composition_or_source)
         assert registered is not None
         self._compositions.append(registered)
+        self._composition_functions[registered.name] = tuple(
+            sorted(registered.required_functions())
+        )
         return registered
 
     # -- routing ---------------------------------------------------------------
 
-    def _pick_worker(self) -> Optional[int]:
+    def _warm_functions_of(self, index: int):
+        """Live warm-binary view of one worker (locality signal)."""
+        return self.workers[index].dispatcher.warm_binaries
+
+    def snapshot(self, composition_name: Optional[str] = None) -> ClusterSnapshot:
+        """Build the routing policy's O(1) view of the fleet."""
+        return ClusterSnapshot(
+            self._healthy_indices,
+            len(self.workers),
+            self._healthy,
+            self._in_flight,
+            composition_name,
+            self._composition_functions.get(composition_name, ()),
+            self._warm_functions_of,
+        )
+
+    def _pick_worker(self, composition_name: Optional[str] = None) -> Optional[int]:
         """Pick a healthy worker index, or ``None`` if the fleet is down.
 
-        With every worker healthy each policy consumes exactly the same
-        decision stream as it did before the fault domain existed, so
-        fault-free runs stay bit-identical.
+        With every worker healthy each default policy consumes exactly
+        the same decision stream as the pre-``repro.sched`` inline
+        dispatch, so fault-free runs stay bit-identical.
         """
-        healthy = [index for index, ok in self._healthy.items() if ok]
-        if not healthy:
+        if not self._healthy_indices:
             return None
-        if self.policy == "round_robin":
-            return healthy[next(self._round_robin) % len(healthy)]
-        if self.policy == "random":
-            return self._rng.choice(healthy)
-        # least_loaded: break ties by index for determinism.
-        return min(healthy, key=lambda index: (self._in_flight[index], index))
+        return self.routing_policy.decide(self.snapshot(composition_name))
 
     def invoke(self, composition_name: str, inputs: dict):
         """Route one invocation; returns a process → InvocationResult."""
@@ -222,7 +258,7 @@ class ClusterManager:
         started = self.env.now
         reroutes = 0
         while True:
-            index = self._pick_worker()
+            index = self._pick_worker(composition_name)
             if index is None:
                 return self._fail_invocation(
                     started, InvocationError("no healthy workers available")

@@ -1,10 +1,25 @@
-"""Control-plane process: periodic core re-allocation between engine types."""
+"""Control-plane process: periodic core re-allocation between engine types.
+
+The decision — move a core toward compute, toward communication, or
+hold — is a pluggable core-scheduling policy from the unified layer
+(:mod:`repro.sched.cores`, docs/scheduling.md).  The default is the
+paper's PI controller over queue-growth error signals
+(:class:`~repro.sched.cores.PiCorePolicy`); the allocator samples both
+engine groups each epoch, builds a
+:class:`~repro.sched.snapshots.CoreSnapshot`, and actuates whatever the
+policy decides, subject to the ``min_engines`` floor so neither
+function type can be starved entirely.
+"""
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..engines.group import EngineGroup
+from ..sched.cores import CorePolicy, PiCorePolicy
+from ..sched.snapshots import CoreSnapshot
 from ..sim.core import Environment
-from .pi_controller import PiConfig, PiController
+from .pi_controller import PiConfig
 
 __all__ = ["CoreAllocator", "CONTROL_EPOCH_SECONDS"]
 
@@ -12,10 +27,12 @@ CONTROL_EPOCH_SECONDS = 0.030  # the paper's 30 ms control period
 
 
 class CoreAllocator:
-    """Runs the PI loop and moves cores between the two engine groups.
+    """Runs the core policy and moves cores between the two engine groups.
 
     Each group always keeps at least ``min_engines`` cores so neither
-    function type can be starved entirely.
+    function type can be starved entirely.  Pass ``policy`` to slot in
+    an alternative controller; ``config`` configures the default PI
+    policy and is ignored when ``policy`` is given.
     """
 
     def __init__(
@@ -27,12 +44,16 @@ class CoreAllocator:
         config: PiConfig = PiConfig(),
         min_engines: int = 1,
         enabled: bool = True,
+        policy: Optional[CorePolicy] = None,
     ):
         self.env = env
         self.compute_group = compute_group
         self.comm_group = comm_group
         self.epoch_seconds = epoch_seconds
-        self.controller = PiController(config)
+        self.policy = policy if policy is not None else PiCorePolicy(config)
+        # Back-compat: the wrapped PI controller stays reachable for
+        # telemetry (last error/signal); None for non-PI policies.
+        self.controller = getattr(self.policy, "controller", None)
         self.min_engines = min_engines
         self.enabled = enabled
         self.reassignments: list[tuple[float, str]] = []
@@ -55,11 +76,19 @@ class CoreAllocator:
             yield self.env.timeout(self.epoch_seconds)
             compute_queue = self.compute_group.sample_queue()
             comm_queue = self.comm_group.sample_queue()
-            compute_growth = compute_queue - self._previous_compute_queue
-            comm_growth = comm_queue - self._previous_comm_queue
+            snapshot = CoreSnapshot(
+                self.env.now,
+                compute_queue,
+                comm_queue,
+                compute_queue - self._previous_compute_queue,
+                comm_queue - self._previous_comm_queue,
+                self.compute_group.engine_count,
+                self.comm_group.engine_count,
+                self.min_engines,
+            )
             self._previous_compute_queue = compute_queue
             self._previous_comm_queue = comm_queue
-            decision = self.controller.update(compute_growth, comm_growth)
+            decision = self.policy.decide(snapshot)
             if decision > 0 and self.comm_group.engine_count > self.min_engines:
                 yield self.comm_group.shrink()
                 self.compute_group.grow()

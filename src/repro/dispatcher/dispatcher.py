@@ -211,6 +211,21 @@ class Dispatcher:
 
     # -- public API ---------------------------------------------------------
 
+    @property
+    def warm_binaries(self):
+        """Names of binaries currently in this node's in-RAM cache.
+
+        A live, read-only view (not a copy — routing policies probe it
+        on every decision): locality signal for
+        :class:`~repro.sched.routing.LocalityAware`.  Membership-test
+        only; callers must not mutate it or rely on iteration order.
+        """
+        return self._warm_binaries
+
+    def is_binary_warm(self, name: str) -> bool:
+        """O(1) membership probe into the in-RAM binary cache."""
+        return name in self._warm_binaries
+
     def invoke(self, composition_name: str, inputs: dict[str, DataSet]):
         """Start an invocation; returns a process yielding InvocationResult."""
         composition = self.registry.composition(composition_name)

@@ -11,6 +11,7 @@ from .fig09_scaling import dandelion_query_seconds, run_fig09_scaling
 from .fig09_ssb_athena import run_fig09
 from .loaded_dandelion import DandelionLoadModel
 from .sec61_fault_tolerance import run_sec61
+from .sec62_scheduling import run_sec62
 from .sec74_composition_chain import run_sec74
 from .sec77_text2sql import run_sec77
 from .sec8_security import run_sec8_enforcement, run_sec8_static, run_sec8_tcb
@@ -34,6 +35,7 @@ __all__ = [
     "dandelion_query_seconds",
     "DandelionLoadModel",
     "run_sec61",
+    "run_sec62",
     "run_sec74",
     "run_sec77",
     "run_sec8_enforcement",

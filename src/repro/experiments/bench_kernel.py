@@ -275,6 +275,121 @@ def bench_retry_backoff(count: int = 300) -> dict:
     }
 
 
+def bench_policy_decisions(count: int = 50_000) -> dict:
+    """Routing-policy decision throughput over a fixed fleet snapshot.
+
+    Every registered policy decides ``count`` times against the same
+    16-worker view (mixed load, partial warmth), so the numbers compare
+    the *policies*, not snapshot construction.  Decisions are the
+    per-invocation cost of the cluster manager's routing hop, so a slow
+    policy taxes every experiment in §5/§6.
+    """
+    from ..sched.routing import ROUTING_POLICIES
+    from ..sched.snapshots import ClusterSnapshot
+    from ..sim.distributions import Rng
+
+    workers = 16
+    healthy = tuple(range(workers))
+    health = {index: True for index in range(workers)}
+    in_flight = {index: (index * 7) % 5 for index in range(workers)}
+    warm = [
+        {"sched_f0", "sched_f1"} if index % 3 == 0 else set()
+        for index in range(workers)
+    ]
+    snapshot = ClusterSnapshot(
+        healthy,
+        workers,
+        health,
+        in_flight,
+        "sched_bench",
+        ("sched_f0", "sched_f1"),
+        lambda index: warm[index],
+    )
+    results = {}
+    for name, cls in ROUTING_POLICIES.items():
+        policy = cls.build(Rng(7))
+        start = time.perf_counter()
+        for _ in range(count):
+            policy.decide(snapshot)
+        elapsed = time.perf_counter() - start
+        results[name] = {
+            "seconds": round(elapsed, 4),
+            "operations": count,
+            "ops_per_second": round(count / elapsed) if elapsed > 0 else None,
+        }
+    return results
+
+
+def bench_snapshot_build(count: int = 100_000) -> dict:
+    """ClusterSnapshot construction on a live 8-worker cluster.
+
+    The snapshot is the routing fast path's only allocation; it must
+    stay O(1) regardless of fleet size or registration count.
+    """
+    from ..cluster.manager import ClusterManager
+    from ..worker import WorkerConfig
+
+    cluster = ClusterManager(
+        worker_count=8,
+        worker_config=WorkerConfig(total_cores=2, control_plane_enabled=False),
+    )
+    start = time.perf_counter()
+    for _ in range(count):
+        cluster.snapshot("sched_bench")
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "operations": count,
+        "ops_per_second": round(count / elapsed) if elapsed > 0 else None,
+    }
+
+
+def bench_cluster_routed_invocation(count: int = 500) -> dict:
+    """End-to-end cost of one invocation routed through the cluster.
+
+    The cluster analogue of ``dispatcher_single_request``: reports
+    wall-clock and deterministic sim-steps per invocation, so routing
+    refactors that add event churn (or per-invocation fleet scans)
+    regress loudly.
+    """
+    from ..cluster.manager import ClusterManager
+    from ..functions import compute_function
+    from ..worker import WorkerConfig
+
+    @compute_function(compute_cost=1e-5, name="bench_cluster_echo")
+    def bench_cluster_echo(vfs):
+        vfs.write_bytes("/out/result/reply", vfs.read_bytes("/in/input/request"))
+
+    cluster = ClusterManager(
+        worker_count=4,
+        worker_config=WorkerConfig(total_cores=2, control_plane_enabled=False),
+        policy="least_loaded",
+    )
+    cluster.register_function(bench_cluster_echo)
+    cluster.register_composition(
+        """
+        composition bench_cluster_single {
+            compute echo uses bench_cluster_echo in(input) out(result);
+            input input -> echo.input;
+            output echo.result -> result;
+        }
+        """
+    )
+    cluster.invoke_and_run("bench_cluster_single", {"input": b"ping"})  # warm-up
+    steps_before = cluster.env._seq
+    start = time.perf_counter()
+    for _ in range(count):
+        cluster.invoke_and_run("bench_cluster_single", {"input": b"ping"})
+    elapsed = time.perf_counter() - start
+    steps = cluster.env._seq - steps_before
+    return {
+        "seconds": round(elapsed, 4),
+        "operations": count,
+        "ops_per_second": round(count / elapsed) if elapsed > 0 else None,
+        "sim_steps_per_invocation": round(steps / count, 1),
+    }
+
+
 def bench_fig05_reduced() -> float:
     """End-to-end proxy: 3 systems × 3 rates, 0.2 s duration."""
     from .fig05_creation_throughput import run_fig05
@@ -345,6 +460,11 @@ def run_bench(full: bool = False, output: str | None = DEFAULT_OUTPUT) -> dict:
         },
         "fault_tolerance": {
             "retry_backoff_300": bench_retry_backoff(),
+        },
+        "scheduling": {
+            "policy_decisions_50k": bench_policy_decisions(),
+            "snapshot_build_100k": bench_snapshot_build(),
+            "cluster_routed_invocation_500": bench_cluster_routed_invocation(),
         },
         "static_analysis": {
             "purity_verification_25x": bench_purity_verification(),

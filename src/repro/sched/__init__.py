@@ -1,0 +1,87 @@
+"""Unified pluggable scheduling layer (`repro.sched`).
+
+Dandelion's elasticity rests on fast, explicit scheduling decisions at
+every layer of the stack — cluster routing (§5), engine queueing,
+sandbox pooling (§7 baselines), and PI-controlled core reallocation
+(§5).  This package makes each of those decision points a first-class
+*policy object* over immutable, cheaply-built snapshot views, so that
+alternative schedulers (power-of-d-choices, locality-aware routing,
+different core controllers) can be slotted in and benchmarked without
+touching the subsystems they steer.
+
+The contract is deliberately small (see docs/scheduling.md):
+
+* a **snapshot** is a read-only view of the decision inputs, built in
+  O(1) on the hot path (shared tuples are maintained incrementally by
+  the subsystem that owns the state);
+* a **policy** implements ``decide(snapshot) -> choice`` and owns all
+  of its mutable state (cursors, RNG streams), so two policies never
+  interfere and a policy's decision stream is reproducible from its
+  seed;
+* the **subsystem actuates** the returned choice — policies never
+  mutate the system themselves.
+
+Decision points and their policy families:
+
+=====================  =============================  ======================
+decision point         snapshot                       policies
+=====================  =============================  ======================
+cluster routing        :class:`ClusterSnapshot`       :data:`ROUTING_POLICIES`
+KPA pod scaling        :class:`PoolSnapshot`          :class:`KpaScalingPolicy`
+baseline sandboxes     :class:`SandboxSnapshot`       :class:`FixedHotRatioPolicy`,
+                                                      :class:`KeepAlivePolicy`
+core reallocation      :class:`CoreSnapshot`          :class:`PiCorePolicy`,
+                                                      :class:`StaticCorePolicy`
+=====================  =============================  ======================
+"""
+
+from .cores import CorePolicy, PiCorePolicy, StaticCorePolicy
+from .routing import (
+    JSQ,
+    LeastOutstanding,
+    LocalityAware,
+    RandomRouting,
+    RoundRobin,
+    RoutingPolicy,
+    ROUTING_POLICIES,
+    make_routing_policy,
+)
+from .sandbox import (
+    FixedHotRatioPolicy,
+    KeepAlivePolicy,
+    SandboxChoice,
+    SandboxPolicy,
+)
+from .scaling import KpaScalingPolicy, ScaleChoice
+from .snapshots import (
+    ClusterSnapshot,
+    CoreSnapshot,
+    PoolSnapshot,
+    SandboxSnapshot,
+    WorkerSnapshot,
+)
+
+__all__ = [
+    "ClusterSnapshot",
+    "CorePolicy",
+    "CoreSnapshot",
+    "FixedHotRatioPolicy",
+    "JSQ",
+    "KeepAlivePolicy",
+    "KpaScalingPolicy",
+    "LeastOutstanding",
+    "LocalityAware",
+    "PiCorePolicy",
+    "PoolSnapshot",
+    "RandomRouting",
+    "RoundRobin",
+    "RoutingPolicy",
+    "ROUTING_POLICIES",
+    "SandboxChoice",
+    "SandboxPolicy",
+    "SandboxSnapshot",
+    "ScaleChoice",
+    "StaticCorePolicy",
+    "WorkerSnapshot",
+    "make_routing_policy",
+]

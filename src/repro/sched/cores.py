@@ -1,0 +1,73 @@
+"""Core-scheduling policies for the worker control plane (§5).
+
+The paper's control plane periodically measures the growth rates of
+the compute and communication engines' queues and uses a PI controller
+to move one core at a time between the two engine types.  Here that
+actuation decision is a policy over :class:`CoreSnapshot` views:
+``decide(snapshot)`` returns ``+1`` (move a core from communication to
+compute), ``-1`` (the reverse), or ``0`` — the
+:class:`~repro.controlplane.allocator.CoreAllocator` enforces the
+``min_cores`` floor and performs the actual engine grow/shrink.
+
+:class:`PiCorePolicy` wraps the paper's PI controller;
+:class:`StaticCorePolicy` never moves a core (a fixed split, the
+ablation baseline Fig 7 compares against).  Alternative controllers —
+deadline-aware, queueing-model-based — implement the same two-method
+surface and slot straight into the allocator.
+"""
+
+from __future__ import annotations
+
+from .snapshots import CoreSnapshot
+
+__all__ = ["CorePolicy", "PiCorePolicy", "StaticCorePolicy"]
+
+
+class CorePolicy:
+    """Base class: one core-reallocation decision per control epoch."""
+
+    __slots__ = ()
+
+    def decide(self, snapshot: CoreSnapshot) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear accumulated controller state (integral terms etc.)."""
+
+
+class PiCorePolicy(CorePolicy):
+    """The paper's Proportional-Integral controller as a core policy.
+
+    The error signal is the difference of the two queues' growth rates;
+    gains, deadband and anti-windup clamp come from
+    :class:`~repro.controlplane.pi_controller.PiConfig`.  The wrapped
+    :class:`~repro.controlplane.pi_controller.PiController` stays
+    reachable as ``.controller`` for telemetry (last error/signal).
+    """
+
+    __slots__ = ("controller",)
+
+    def __init__(self, config=None, controller=None):
+        # Imported lazily: controlplane imports this module to build its
+        # default policy, so a module-level import would be circular.
+        from ..controlplane.pi_controller import PiConfig, PiController
+
+        if controller is not None:
+            self.controller = controller
+        else:
+            self.controller = PiController(config if config is not None else PiConfig())
+
+    def decide(self, snapshot: CoreSnapshot) -> int:
+        return self.controller.update(snapshot.compute_growth, snapshot.comm_growth)
+
+    def reset(self) -> None:
+        self.controller.reset()
+
+
+class StaticCorePolicy(CorePolicy):
+    """Never reallocates: the fixed compute/comm split baseline."""
+
+    __slots__ = ()
+
+    def decide(self, snapshot: CoreSnapshot) -> int:
+        return 0

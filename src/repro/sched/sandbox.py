@@ -1,0 +1,133 @@
+"""Sandbox keep/hot policies for the baseline FaaS platforms (§7.1).
+
+The traditional-FaaS baselines make one scheduling decision per
+request: serve it from a warm sandbox or pay a cold start, and — after
+the request — keep the sandbox standing or tear it down.  Both halves
+route through ``decide(SandboxSnapshot) -> SandboxChoice`` here; the
+platform actuates the choice (scanning its idle pool, charging memory,
+arming reap timers).
+
+Two policies cover the paper's setups:
+
+* :class:`FixedHotRatioPolicy` — each request is *hot* with fixed
+  probability (the 97%-hot setting justified by the Azure trace, §7.3);
+  the platform keeps a standing hot pool and tears down cold sandboxes
+  after use;
+* :class:`KeepAlivePolicy` — requests reuse idle sandboxes; sandboxes
+  idle for a keep-alive window before reclamation (the
+  Knative-autoscaling memory behaviour of Figs 1 and 10).
+
+Both keep their pre-refactor helper surface (``standing_sandboxes``,
+``keep_after_use``, ``is_hot``) so existing call sites and tests are
+untouched.
+"""
+
+from __future__ import annotations
+
+from .snapshots import SandboxSnapshot
+
+__all__ = [
+    "SandboxChoice",
+    "SandboxPolicy",
+    "FixedHotRatioPolicy",
+    "KeepAlivePolicy",
+]
+
+# Choice kinds.
+HOT = "hot"        # serve from the standing hot pool (no sandbox object)
+COLD = "cold"      # boot a fresh sandbox on the critical path
+REUSE = "reuse"    # scan the idle pool; cold start only if it is empty
+
+
+class SandboxChoice:
+    """Outcome of one sandbox-acquisition decision."""
+
+    __slots__ = ("kind", "keep_alive_seconds")
+
+    def __init__(self, kind: str, keep_alive_seconds: float = 0.0):
+        self.kind = kind
+        self.keep_alive_seconds = keep_alive_seconds
+
+    def __repr__(self) -> str:
+        return f"SandboxChoice({self.kind!r}, keep_alive={self.keep_alive_seconds})"
+
+
+# The choice objects are stateless per kind, so the platform hot path
+# reuses singletons instead of allocating one per request.
+_HOT_CHOICE = SandboxChoice(HOT)
+_COLD_CHOICE = SandboxChoice(COLD)
+
+
+class SandboxPolicy:
+    """Base class: per-request hot/cold/reuse decisions."""
+
+    __slots__ = ()
+
+    def decide(self, snapshot: SandboxSnapshot) -> SandboxChoice:
+        raise NotImplementedError
+
+    # -- legacy helper surface (pre-refactor call sites) -------------------
+
+    def standing_sandboxes(self, function) -> int:
+        """Pre-provisioned sandboxes to charge at registration."""
+        return 0
+
+    def keep_after_use(self) -> bool:
+        """Whether released sandboxes stay warm (idle pool)."""
+        return False
+
+
+class FixedHotRatioPolicy(SandboxPolicy):
+    """Bernoulli hot/cold decision with a standing hot pool.
+
+    Hot requests are assumed to find a pre-provisioned sandbox (the
+    platform keeps ``hot_pool_size`` of them in memory per function);
+    cold requests boot a fresh sandbox that is torn down afterwards.
+    """
+
+    __slots__ = ("hot_ratio", "rng", "hot_pool_size")
+
+    def __init__(self, hot_ratio: float, rng, hot_pool_size: int = 8):
+        if not 0.0 <= hot_ratio <= 1.0:
+            raise ValueError(f"hot_ratio {hot_ratio} out of range")
+        self.hot_ratio = hot_ratio
+        self.rng = rng
+        self.hot_pool_size = hot_pool_size
+
+    def decide(self, snapshot: SandboxSnapshot) -> SandboxChoice:
+        return _HOT_CHOICE if self.rng.bernoulli(self.hot_ratio) else _COLD_CHOICE
+
+    def standing_sandboxes(self, function) -> int:
+        return self.hot_pool_size if self.hot_ratio > 0 else 0
+
+    def is_hot(self, platform, function) -> bool:
+        return self.rng.bernoulli(self.hot_ratio)
+
+    def keep_after_use(self) -> bool:
+        return False
+
+
+class KeepAlivePolicy(SandboxPolicy):
+    """Sandboxes idle for ``keep_alive_seconds`` before being reclaimed.
+
+    This is the Knative-style autoscaling behaviour: every request that
+    finds an idle sandbox is warm; idle sandboxes hold memory until the
+    keep-alive window elapses.
+    """
+
+    __slots__ = ("keep_alive_seconds", "_choice")
+
+    def __init__(self, keep_alive_seconds: float):
+        if keep_alive_seconds < 0:
+            raise ValueError("keep_alive_seconds must be non-negative")
+        self.keep_alive_seconds = keep_alive_seconds
+        self._choice = SandboxChoice(REUSE, keep_alive_seconds)
+
+    def decide(self, snapshot: SandboxSnapshot) -> SandboxChoice:
+        return self._choice
+
+    def standing_sandboxes(self, function) -> int:
+        return 0
+
+    def keep_after_use(self) -> bool:
+        return self.keep_alive_seconds > 0

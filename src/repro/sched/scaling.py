@@ -1,0 +1,71 @@
+"""Pod-scaling policy for the Knative-style autoscaler (§7.8).
+
+Knative's KPA scales each revision on *observed concurrency*: desired
+pods = ceil(average concurrency / per-pod target), smoothed over a
+stable window, with a short panic window taking over when load doubles.
+:class:`KpaScalingPolicy` carries exactly that arithmetic as a policy
+object over :class:`~repro.sched.snapshots.PoolSnapshot` views, so the
+platform (:class:`~repro.cluster.autoscaler.KnativeFaasPlatform`) only
+actuates — creating pre-provisioned pods, voting scale-downs through
+the grace period — and an alternative controller (e.g. a queueing-model
+or RPS-based scaler) can be slotted in without touching the pod
+lifecycle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .snapshots import PoolSnapshot, SandboxSnapshot
+
+__all__ = ["ScaleChoice", "KpaScalingPolicy"]
+
+
+class ScaleChoice:
+    """One evaluation tick's verdict for one function's pod pool."""
+
+    __slots__ = ("desired_pods", "in_panic")
+
+    def __init__(self, desired_pods: int, in_panic: bool):
+        self.desired_pods = desired_pods
+        self.in_panic = in_panic
+
+    def __repr__(self) -> str:
+        return f"ScaleChoice(desired={self.desired_pods}, panic={self.in_panic})"
+
+
+class KpaScalingPolicy:
+    """Knative KPA concurrency-based scaling over pool snapshots.
+
+    ``config`` is a :class:`~repro.cluster.autoscaler.KnativeConfig`
+    (duck-typed: any object with ``target_concurrency``,
+    ``panic_threshold`` and ``max_pods_per_function``).
+    """
+
+    __slots__ = ("config",)
+
+    def __init__(self, config):
+        self.config = config
+
+    def decide(self, snapshot: PoolSnapshot) -> ScaleChoice:
+        config = self.config
+        capacity = max(snapshot.provisioned, 1) * config.target_concurrency
+        in_panic = snapshot.panic_concurrency >= config.panic_threshold * capacity
+        observed = (
+            max(snapshot.stable_concurrency, snapshot.panic_concurrency)
+            if in_panic
+            else snapshot.stable_concurrency
+        )
+        desired = min(
+            config.max_pods_per_function,
+            math.ceil(observed / config.target_concurrency),
+        )
+        return ScaleChoice(desired, in_panic)
+
+    def acquire_warm(self, snapshot: SandboxSnapshot) -> bool:
+        """Whether an arriving request should take a ready pod.
+
+        The KPA always prefers warm capacity; a policy modelling, say,
+        per-pod draining could decline and force a cold start.
+        """
+        return snapshot.idle_count > 0

@@ -1,0 +1,233 @@
+"""Immutable snapshot views consumed by scheduling policies.
+
+A snapshot is the *decision input* for one scheduling choice: a cheap,
+read-only view of the relevant slice of system state.  Snapshots are
+built on the hot path, so construction must be O(1) — the expensive
+parts (the healthy-index ring, per-worker counters, warm-binary sets)
+are references to state the owning subsystem maintains incrementally,
+never copies.  Policies must treat every field as frozen: mutating a
+snapshot (or the containers it references) is a contract violation and
+would corrupt the subsystem that lent the view.
+
+Snapshot types, one per decision point:
+
+* :class:`ClusterSnapshot` — cluster-manager routing (§5): the healthy
+  worker ring, per-worker in-flight counts, and warm-binary locality
+  signals for the invoked composition;
+* :class:`WorkerSnapshot` — a per-worker slice of the cluster view,
+  materialized lazily for policies (and tests) that want one worker's
+  state as a value;
+* :class:`PoolSnapshot` — one function's pod pool as the Knative KPA
+  sees it at an evaluation tick (windowed concurrency averages);
+* :class:`SandboxSnapshot` — one baseline-platform request's
+  hot/cold/reuse decision input;
+* :class:`CoreSnapshot` — one control-plane epoch's queue growths and
+  current core split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ClusterSnapshot",
+    "CoreSnapshot",
+    "PoolSnapshot",
+    "SandboxSnapshot",
+    "WorkerSnapshot",
+]
+
+_EMPTY_SET: frozenset = frozenset()
+
+
+class WorkerSnapshot:
+    """Read-only view of one worker at decision time."""
+
+    __slots__ = ("index", "healthy", "in_flight", "warm_functions")
+
+    def __init__(self, index: int, healthy: bool, in_flight: int,
+                 warm_functions: frozenset):
+        self.index = index
+        self.healthy = healthy
+        self.in_flight = in_flight
+        self.warm_functions = warm_functions
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerSnapshot(index={self.index}, healthy={self.healthy}, "
+            f"in_flight={self.in_flight}, warm={len(self.warm_functions)})"
+        )
+
+
+class ClusterSnapshot:
+    """Routing view over a worker fleet.
+
+    ``healthy`` is the *shared* tuple of healthy worker indices the
+    cluster manager maintains incrementally on fail/restore/add — the
+    fault-free fast path hands the same tuple to every decision, so
+    building a snapshot is one small allocation, not an O(workers)
+    scan.  ``worker_count`` is the total fleet size (the stable index
+    ring policies rotate over); unhealthy indices stay in the ring so
+    a fleet-size change cannot shift a rotation's phase.
+    """
+
+    __slots__ = (
+        "healthy",
+        "worker_count",
+        "composition",
+        "composition_functions",
+        "_health",
+        "_in_flight",
+        "_warm_of",
+    )
+
+    def __init__(
+        self,
+        healthy: tuple,
+        worker_count: int,
+        health,
+        in_flight,
+        composition: Optional[str] = None,
+        composition_functions: tuple = (),
+        warm_of=None,
+    ):
+        self.healthy = healthy
+        self.worker_count = worker_count
+        self.composition = composition
+        self.composition_functions = composition_functions
+        self._health = health
+        self._in_flight = in_flight
+        self._warm_of = warm_of
+
+    def is_healthy(self, index: int) -> bool:
+        return self._health[index]
+
+    def in_flight(self, index: int) -> int:
+        return self._in_flight[index]
+
+    def warm_functions(self, index: int):
+        """Set of function binaries warm (RAM-cached) on this worker."""
+        if self._warm_of is None:
+            return _EMPTY_SET
+        return self._warm_of(index)
+
+    def warm_count(self, index: int) -> int:
+        """How many of the invoked composition's functions are warm."""
+        functions = self.composition_functions
+        if not functions:
+            return 0
+        warm = self.warm_functions(index)
+        if not warm:
+            return 0
+        return sum(1 for name in functions if name in warm)
+
+    def worker(self, index: int) -> WorkerSnapshot:
+        """Materialize one worker's slice as a value (not hot path)."""
+        return WorkerSnapshot(
+            index,
+            self.is_healthy(index),
+            self.in_flight(index),
+            frozenset(self.warm_functions(index)),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterSnapshot({len(self.healthy)}/{self.worker_count} healthy, "
+            f"composition={self.composition!r})"
+        )
+
+
+class PoolSnapshot:
+    """One function's pod pool as the autoscaler sees it at a tick."""
+
+    __slots__ = (
+        "function_name",
+        "now",
+        "ready",
+        "busy",
+        "provisioned",
+        "stable_concurrency",
+        "panic_concurrency",
+    )
+
+    def __init__(
+        self,
+        function_name: str,
+        now: float,
+        ready: int,
+        busy: int,
+        provisioned: int,
+        stable_concurrency: float,
+        panic_concurrency: float,
+    ):
+        self.function_name = function_name
+        self.now = now
+        self.ready = ready
+        self.busy = busy
+        self.provisioned = provisioned
+        self.stable_concurrency = stable_concurrency
+        self.panic_concurrency = panic_concurrency
+
+    def __repr__(self) -> str:
+        return (
+            f"PoolSnapshot({self.function_name!r}, ready={self.ready}, "
+            f"busy={self.busy}, provisioned={self.provisioned}, "
+            f"stable={self.stable_concurrency:.2f}, "
+            f"panic={self.panic_concurrency:.2f})"
+        )
+
+
+class SandboxSnapshot:
+    """One baseline request's sandbox-acquisition decision input."""
+
+    __slots__ = ("now", "function", "idle_count")
+
+    def __init__(self, now: float, function, idle_count: int):
+        self.now = now
+        self.function = function
+        self.idle_count = idle_count
+
+    def __repr__(self) -> str:
+        name = getattr(self.function, "name", self.function)
+        return f"SandboxSnapshot({name!r}, idle={self.idle_count}, now={self.now})"
+
+
+class CoreSnapshot:
+    """One control-plane epoch's view of both engine groups."""
+
+    __slots__ = (
+        "now",
+        "compute_queue",
+        "comm_queue",
+        "compute_growth",
+        "comm_growth",
+        "compute_cores",
+        "comm_cores",
+        "min_cores",
+    )
+
+    def __init__(
+        self,
+        now: float,
+        compute_queue: int,
+        comm_queue: int,
+        compute_growth: float,
+        comm_growth: float,
+        compute_cores: int,
+        comm_cores: int,
+        min_cores: int = 1,
+    ):
+        self.now = now
+        self.compute_queue = compute_queue
+        self.comm_queue = comm_queue
+        self.compute_growth = compute_growth
+        self.comm_growth = comm_growth
+        self.compute_cores = compute_cores
+        self.comm_cores = comm_cores
+        self.min_cores = min_cores
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreSnapshot(compute={self.compute_cores}c/q{self.compute_queue}, "
+            f"comm={self.comm_cores}c/q{self.comm_queue})"
+        )

@@ -159,3 +159,72 @@ def test_two_functions_scale_independently():
     env.run(until=env.process(driver()))
     assert platform.pods_of("hot") >= 1
     assert platform.pods_of("idle") == 0
+
+
+# -- edge behaviour: panic boundaries, grace period, scale-from-zero ----------
+
+
+def test_panic_entry_during_burst_and_exit_after_decay():
+    import dataclasses
+    slow_spec = dataclasses.replace(FIRECRACKER_SNAPSHOT, cold_start_seconds=2.0)
+    env = Environment()
+    platform = KnativeFaasPlatform(
+        env, slow_spec, cores=16,
+        config=KnativeConfig(
+            stable_window_seconds=10.0,
+            evaluation_interval_seconds=1.0,
+            scale_to_zero_grace_seconds=5.0,
+        ),
+    )
+    platform.register_function("f", [compute_phase(0.05)])
+    drive(env, platform, rate_rps=2, duration=8)
+    assert platform.panic_entries == 0  # steady trickle never panics
+    drive(env, platform, rate_rps=120, duration=6)
+    entries_after_burst = platform.panic_entries
+    assert entries_after_burst > 0
+    # Quiet: once both windows decay past the burst the panic
+    # condition clears and the counter stops moving.
+    env.run(until=env.timeout(25.0))
+    settle = platform.panic_entries
+    env.run(until=env.timeout(10.0))
+    assert platform.panic_entries == settle
+
+
+def test_scale_down_held_through_stable_window_and_grace():
+    config = KnativeConfig(
+        stable_window_seconds=2.0,
+        evaluation_interval_seconds=0.5,
+        scale_to_zero_grace_seconds=10.0,
+    )
+    env, platform = make_platform(config=config)
+    drive(env, platform, rate_rps=40, duration=10)
+    pods_at_peak = platform.pods_of("f")
+    assert pods_at_peak > 0
+    # Well past the stable window but inside the scale-to-zero grace:
+    # the last pods must still be standing.
+    env.run(until=env.timeout(4.0))
+    assert platform.pods_of("f") > 0
+    # Grace elapsed: reclaimed to zero, memory returned.
+    env.run(until=env.timeout(20.0))
+    assert platform.pods_of("f") == 0
+    assert platform.committed_bytes == 0
+
+
+def test_scale_to_zero_then_cold_start_reacquire():
+    config = KnativeConfig(
+        stable_window_seconds=2.0,
+        evaluation_interval_seconds=0.5,
+        scale_to_zero_grace_seconds=1.0,
+    )
+    env, platform = make_platform(config=config)
+    drive(env, platform, rate_rps=40, duration=8)
+    env.run(until=env.timeout(30.0))
+    assert platform.pods_of("f") == 0
+    # First request against the empty pool pays a cold start and
+    # re-provisions exactly one pod...
+    revival = env.run(until=platform.request("f"))
+    assert revival.cold
+    assert platform.pods_of("f") == 1
+    # ...which the next request reuses warm.
+    followup = env.run(until=platform.request("f"))
+    assert not followup.cold
