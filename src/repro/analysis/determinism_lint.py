@@ -57,6 +57,7 @@ HOT_PATH_MODULES = (
     "dispatcher/memory.py",
     "data/context.py",
     "data/items.py",
+    "data/lazy.py",
     "sched/snapshots.py",
     "sched/routing.py",
     "sched/sandbox.py",

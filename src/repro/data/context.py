@@ -26,6 +26,19 @@ docs/dataplane.md for the full cost model.
 Sets are serialised into the region with a small length-prefixed binary
 layout; :func:`parse_sets` is the strict ~100-line "function output
 parser" the security analysis in §8 talks about.
+
+The wire format is versioned (see docs/dataplane.md):
+
+* **v1** (magic ``DNDL``) is the original scan-only layout: the reader
+  must walk every record to find anything.
+* **v2** (magic ``DND2``, the default) appends a *footer offset table*
+  — per-set record offsets, item counts, payload/wire byte totals, and
+  a flat per-item record-offset array — so a reader can seek to any set
+  or item in O(1) instead of scanning.  :func:`repro.data.lazy.parse_sets_lazy`
+  (what :meth:`MemoryContext.load_sets` returns) builds zero-parse
+  views over it; :func:`parse_sets` stays the strict eager
+  validation/debug codec and cross-checks the footer against a full
+  body scan.
 """
 
 from __future__ import annotations
@@ -42,13 +55,22 @@ __all__ = [
     "serialized_size",
     "parse_sets",
     "PAGE_SIZE",
+    "WIRE_VERSION",
 ]
 
 PAGE_SIZE = 4096
 
-_MAGIC = b"DNDL"
-_HEADER = struct.Struct("<4sI")  # magic, set count
+WIRE_VERSION = 2
+
+_MAGIC = b"DNDL"                   # v1: scan-only
+_MAGIC2 = b"DND2"                  # v2: v1 body + footer offset table
+_HEADER = struct.Struct("<4sI")    # magic, set count
+_HEADER2 = struct.Struct("<4sIQ")  # magic, set count, footer offset
 _LENGTH = struct.Struct("<I")
+# Footer set entry: set record offset, item count, total payload bytes,
+# total item-record (wire) bytes.
+_SET_ENTRY = struct.Struct("<QIQQ")
+_ITEM_ENTRY = struct.Struct("<Q")  # item record offset
 
 # Hard caps enforced by the parser so malicious output data cannot make
 # the trusted side allocate unbounded memory.
@@ -203,45 +225,109 @@ class MemoryContext:
         return size
 
     def load_sets(self, offset: int = 0) -> list[DataSet]:
-        """Parse sets previously stored at ``offset``."""
+        """Zero-parse views of sets previously stored at ``offset``.
+
+        Returns lazy set views over the context buffer: the call itself
+        only reads the v2 footer (O(sets)); names decode and payload
+        bytes are copied out on first touch.  The views alias the
+        backing buffer and follow the same lifetime rule as
+        :meth:`read_view` (valid until the next write or free).  A v1
+        blob falls back to the eager strict parse.
+        """
+        from .lazy import parse_sets_lazy  # deferred: lazy imports this module
+
         self._check_alive()
         self._materialize()
         self._ensure(self._extent)
-        return parse_sets(memoryview(self._buffer)[offset:])
+        return parse_sets_lazy(memoryview(self._buffer)[offset:])
 
     def __repr__(self) -> str:
         state = "freed" if self._freed else f"{self.committed}B committed"
         return f"MemoryContext({self.ident!r}, cap={self._capacity}, {state})"
 
 
-def serialize_sets(sets: Iterable[DataSet]) -> bytes:
-    """Encode sets into the length-prefixed on-context layout."""
+def serialize_sets(sets: Iterable[DataSet], version: int = WIRE_VERSION) -> bytes:
+    """Encode sets into the length-prefixed on-context layout.
+
+    ``version=2`` (the default) appends the footer offset table that
+    makes the blob seekable; ``version=1`` emits the legacy scan-only
+    layout (kept for the fallback-parse path and format tests).
+    """
     sets = list(sets)
-    parts = [_HEADER.pack(_MAGIC, len(sets))]
+    if version == 1:
+        parts = [_HEADER.pack(_MAGIC, len(sets))]
+        for data_set in sets:
+            parts.append(_encode_name(data_set.ident))
+            parts.append(_LENGTH.pack(len(data_set)))
+            for item in data_set:
+                parts.append(_encode_name(item.ident))
+                key = item.key if item.key is not None else ""
+                parts.append(_encode_name(key))
+                parts.append(_LENGTH.pack(1 if item.key is not None else 0))
+                parts.append(_LENGTH.pack(len(item.data)))
+                parts.append(item.data)
+        return b"".join(parts)
+    if version != 2:
+        raise ValueError(f"unknown wire format version {version!r}")
+    parts: list = [b""]  # header placeholder, patched once offsets are known
+    offset = _HEADER2.size
+    set_entries: list[tuple[int, int, int, int]] = []
+    item_offsets: list[int] = []
     for data_set in sets:
-        parts.append(_encode_name(data_set.ident))
-        parts.append(_LENGTH.pack(len(data_set)))
+        set_offset = offset
+        name = _encode_name(data_set.ident)
+        count = len(data_set)
+        parts.append(name)
+        parts.append(_LENGTH.pack(count))
+        offset += len(name) + 4
+        payload_total = 0
+        wire_total = 0
         for item in data_set:
-            parts.append(_encode_name(item.ident))
-            key = item.key if item.key is not None else ""
-            parts.append(_encode_name(key))
-            parts.append(_LENGTH.pack(1 if item.key is not None else 0))
-            parts.append(_LENGTH.pack(len(item.data)))
-            parts.append(item.data)
+            item_offsets.append(offset)
+            item_name = _encode_name(item.ident)
+            key = item.key
+            key_name = _encode_name(key if key is not None else "")
+            data = item.data
+            parts.append(item_name)
+            parts.append(key_name)
+            parts.append(_LENGTH.pack(1 if key is not None else 0))
+            parts.append(_LENGTH.pack(len(data)))
+            parts.append(data)
+            record = len(item_name) + len(key_name) + 8 + len(data)
+            offset += record
+            payload_total += len(data)
+            wire_total += record
+        set_entries.append((set_offset, count, payload_total, wire_total))
+    parts[0] = _HEADER2.pack(_MAGIC2, len(sets), offset)
+    for entry in set_entries:
+        parts.append(_SET_ENTRY.pack(*entry))
+    parts.append(struct.pack(f"<{len(item_offsets)}Q", *item_offsets))
     return b"".join(parts)
 
 
-def serialized_size(sets: Iterable[DataSet]) -> int:
-    """Exact ``len(serialize_sets(sets))`` without building the blob.
+def serialized_size(sets: Iterable[DataSet], version: int = WIRE_VERSION) -> int:
+    """Exact ``len(serialize_sets(sets, version))`` without the blob.
 
     This is the accounting half of the data plane: the dispatcher uses
     it to charge committed pages for a store without paying the copy.
     A hypothesis property test pins it byte-for-byte to the eager
-    encoder, including the name-length validation.
+    encoder, including the name-length validation.  For v2 the footer
+    adds ``_SET_ENTRY.size`` per set plus 8 bytes per item on top of
+    the body; lazy views carry their body wire size from the footer, so
+    re-storing a lazy set stays O(1) per set.
     """
-    size = _HEADER.size
+    if version == 1:
+        size = _HEADER.size
+        footer_per_set = footer_per_item = 0
+    elif version == 2:
+        size = _HEADER2.size
+        footer_per_set = _SET_ENTRY.size
+        footer_per_item = _ITEM_ENTRY.size
+    else:
+        raise ValueError(f"unknown wire format version {version!r}")
     for data_set in sets:
         size += 8 + _name_length(data_set.ident)  # name + item count
+        size += footer_per_set + footer_per_item * len(data_set)
         wire = getattr(data_set, "_wire", None)
         if wire is None:
             # Per-item wire bytes: name, key, key flag, length, payload.
@@ -252,7 +338,7 @@ def serialized_size(sets: Iterable[DataSet]) -> int:
             for item in data_set:
                 wire += 4 + _name_length(item.ident)
                 wire += 4 + _name_length(item.key if item.key is not None else "")
-                wire += 8 + len(item.data)  # key flag + payload length + payload
+                wire += 8 + item.size  # key flag + payload length + payload
             try:
                 data_set._wire = wire
             except AttributeError:
@@ -318,7 +404,16 @@ def parse_sets(blob) -> list[DataSet]:
     raises :class:`ContextError` rather than producing partial results.
     This is the reproduction's analogue of the 100-line Rust output
     parser whose small size §8 argues makes verification feasible.
+
+    Both wire versions are accepted.  For a v2 blob the footer offset
+    table is cross-validated against the full body scan (offsets,
+    counts, payload/wire totals must all agree), which is exactly why
+    this stays the validation/debug codec while
+    :func:`repro.data.lazy.parse_sets_lazy` trusts the footer for the
+    fast path.
     """
+    if len(blob) >= 4 and bytes(blob[:4]) == _MAGIC2:
+        return _parse_sets_v2(blob)
     cursor = _Cursor(blob)
     magic, set_count = _HEADER.unpack(cursor.take(_HEADER.size))
     if magic != _MAGIC:
@@ -327,12 +422,102 @@ def parse_sets(blob) -> list[DataSet]:
         raise ContextError("set count exceeds limit")
     sets: list[DataSet] = []
     for _ in range(set_count):
+        sets.append(_parse_one_set(cursor))
+    return sets
+
+
+def _parse_one_set(cursor: _Cursor) -> DataSet:
+    """Strict body scan of one set record at the cursor (shared v1/v2)."""
+    set_ident = cursor.name(allow_empty=False)
+    item_count = cursor.u32()
+    if item_count > _MAX_ITEMS_PER_SET:
+        raise ContextError("item count exceeds limit")
+    data_set = DataSet(set_ident)
+    for _ in range(item_count):
+        item_ident = cursor.name(allow_empty=False)
+        key_text = cursor.name()
+        has_key = cursor.u32()
+        if has_key not in (0, 1):
+            raise ContextError("invalid key flag")
+        payload_length = cursor.u32()
+        payload = bytes(cursor.take(payload_length))
+        key: Optional[str] = key_text if has_key else None
+        data_set.add(DataItem(item_ident, payload, key=key))
+    return data_set
+
+
+def _parse_footer(blob) -> "tuple[int, list[tuple[int, int, int, int]], list[list[int]]]":
+    """Decode and bounds-check a v2 footer.
+
+    Returns ``(set_count, set_entries, per_set_item_offsets)``.  Only
+    structural validity is checked here (the lazy reader's trust
+    boundary); :func:`parse_sets` additionally cross-checks every entry
+    against a body scan.
+    """
+    if len(blob) < _HEADER2.size:
+        raise ContextError("truncated context data")
+    magic, set_count, footer_offset = _HEADER2.unpack(bytes(blob[: _HEADER2.size]))
+    if magic != _MAGIC2:
+        raise ContextError("bad magic: context does not contain v2 set data")
+    if set_count > _MAX_SETS:
+        raise ContextError("set count exceeds limit")
+    footer_end = footer_offset + set_count * _SET_ENTRY.size
+    if footer_offset < _HEADER2.size or footer_end > len(blob):
+        raise ContextError("footer offset out of bounds")
+    set_entries: list[tuple[int, int, int, int]] = []
+    total_items = 0
+    position = footer_offset
+    for _ in range(set_count):
+        entry = _SET_ENTRY.unpack(bytes(blob[position : position + _SET_ENTRY.size]))
+        set_offset, item_count, payload_total, wire_total = entry
+        if item_count > _MAX_ITEMS_PER_SET:
+            raise ContextError("item count exceeds limit")
+        if not _HEADER2.size <= set_offset < footer_offset:
+            raise ContextError("set offset out of bounds")
+        if payload_total > wire_total or wire_total > footer_offset:
+            raise ContextError("inconsistent footer byte totals")
+        set_entries.append(entry)
+        total_items += item_count
+        position += _SET_ENTRY.size
+    offsets_end = footer_end + total_items * _ITEM_ENTRY.size
+    if offsets_end > len(blob):
+        raise ContextError("truncated footer item offsets")
+    flat = struct.unpack(f"<{total_items}Q", bytes(blob[footer_end:offsets_end]))
+    per_set: list[list[int]] = []
+    cursor = 0
+    for _, item_count, _, _ in set_entries:
+        offsets = list(flat[cursor : cursor + item_count])
+        for item_offset in offsets:
+            if not _HEADER2.size <= item_offset < footer_offset:
+                raise ContextError("item offset out of bounds")
+        per_set.append(offsets)
+        cursor += item_count
+    return set_count, set_entries, per_set
+
+
+def _parse_sets_v2(blob) -> list[DataSet]:
+    """Strict v2 parse: full body scan cross-validated against the footer."""
+    set_count, set_entries, per_set_offsets = _parse_footer(blob)
+    footer_offset = _HEADER2.unpack(bytes(blob[: _HEADER2.size]))[2]
+    cursor = _Cursor(blob)
+    cursor.position = _HEADER2.size
+    sets: list[DataSet] = []
+    for index in range(set_count):
+        set_offset, item_count, payload_total, wire_total = set_entries[index]
+        if cursor.position != set_offset:
+            raise ContextError("footer set offset disagrees with body scan")
         set_ident = cursor.name(allow_empty=False)
-        item_count = cursor.u32()
+        scanned_count = cursor.u32()
+        if scanned_count != item_count:
+            raise ContextError("footer item count disagrees with body scan")
         if item_count > _MAX_ITEMS_PER_SET:
             raise ContextError("item count exceeds limit")
         data_set = DataSet(set_ident)
-        for _ in range(item_count):
+        body_start = cursor.position
+        scanned_payload = 0
+        for item_index in range(item_count):
+            if cursor.position != per_set_offsets[index][item_index]:
+                raise ContextError("footer item offset disagrees with body scan")
             item_ident = cursor.name(allow_empty=False)
             key_text = cursor.name()
             has_key = cursor.u32()
@@ -340,7 +525,13 @@ def parse_sets(blob) -> list[DataSet]:
                 raise ContextError("invalid key flag")
             payload_length = cursor.u32()
             payload = bytes(cursor.take(payload_length))
-            key: Optional[str] = key_text if has_key else None
-            data_set.add(DataItem(item_ident, payload, key=key))
+            scanned_payload += payload_length
+            data_set.add(DataItem(item_ident, payload, key=key_text if has_key else None))
+        if scanned_payload != payload_total:
+            raise ContextError("footer payload total disagrees with body scan")
+        if cursor.position - body_start != wire_total:
+            raise ContextError("footer wire total disagrees with body scan")
         sets.append(data_set)
+    if cursor.position != footer_offset:
+        raise ContextError("body does not end at footer offset")
     return sets

@@ -12,7 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
-__all__ = ["DataItem", "DataSet", "total_size"]
+__all__ = [
+    "DataItem",
+    "DataSet",
+    "total_size",
+    "group_items_by_key",
+    "is_data_set",
+    "register_item_type",
+    "register_set_type",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +53,51 @@ class DataItem:
         return self.data.decode(encoding)
 
 
+# Concrete types accepted wherever a DataItem / DataSet flows.  The lazy
+# wire-format views (repro.data.lazy) register themselves here so the
+# eager containers and every consumer accept them interchangeably
+# without the data layer importing its own submodule back.
+_ITEM_TYPES: tuple = (DataItem,)
+_SET_TYPES: tuple = ()  # DataSet is appended once the class exists
+
+
+def register_item_type(cls) -> None:
+    """Register an additional class usable as a set member."""
+    global _ITEM_TYPES
+    if cls not in _ITEM_TYPES:
+        _ITEM_TYPES = _ITEM_TYPES + (cls,)
+
+
+def register_set_type(cls) -> None:
+    """Register an additional class usable as a data set."""
+    global _SET_TYPES
+    if cls not in _SET_TYPES:
+        _SET_TYPES = _SET_TYPES + (cls,)
+
+
+def is_data_set(value) -> bool:
+    """Whether ``value`` is a data set (eager or a registered view)."""
+    return isinstance(value, _SET_TYPES)
+
+
+def group_items_by_key(items: Iterable) -> "dict[Optional[str], list]":
+    """Bucket items by their grouping key, first-appearance ordered.
+
+    Single pass: this is the shared engine behind ``keys()`` /
+    ``grouped_by_key()`` on both the eager and lazy sets, and the
+    dispatcher's ``key``-distribution expansion — all of which were
+    previously O(items x keys) membership scans.
+    """
+    groups: dict[Optional[str], list] = {}
+    for item in items:
+        bucket = groups.get(item.key)
+        if bucket is None:
+            groups[item.key] = [item]
+        else:
+            bucket.append(item)
+    return groups
+
+
 class DataSet:
     """A named, ordered collection of :class:`DataItem`.
 
@@ -67,8 +120,12 @@ class DataSet:
             self.add(item)
 
     def add(self, item: DataItem) -> None:
-        """Append an item (idents inside one set must be unique)."""
-        if not isinstance(item, DataItem):
+        """Append an item (idents inside one set must be unique).
+
+        Accepts any registered item type; a lazy item added here keeps
+        its deferred payload (grouping a lazy set never copies data).
+        """
+        if not isinstance(item, _ITEM_TYPES):
             raise TypeError(f"expected DataItem, got {type(item).__name__}")
         if item.ident in self._index:
             raise ValueError(f"duplicate item ident {item.ident!r} in set {self.ident!r}")
@@ -86,9 +143,13 @@ class DataSet:
 
         Items of an existing set are already validated and unique, so
         this skips the per-item checks of the regular constructor.
+        Non-eager sources (the lazy wire-format views) rename through
+        their own O(1) ``renamed`` method instead of being copied.
         """
         if source.ident == ident:
             return source
+        if not isinstance(source, cls):
+            return source.renamed(ident)
         new = cls.__new__(cls)
         if not ident:
             raise ValueError("set ident must be non-empty")
@@ -124,20 +185,19 @@ class DataSet:
         return sum(item.size for item in self._items)
 
     def keys(self) -> list[Optional[str]]:
-        """Distinct item keys in first-appearance order."""
-        seen: list[Optional[str]] = []
-        for item in self._items:
-            if item.key not in seen:
-                seen.append(item.key)
-        return seen
+        """Distinct item keys in first-appearance order (O(items))."""
+        return list(dict.fromkeys(item.key for item in self._items))
 
     def grouped_by_key(self) -> "list[DataSet]":
-        """Split into per-key sets (for ``key``-distributed edges)."""
-        groups: list[DataSet] = []
-        for key in self.keys():
-            group = DataSet(self.ident, [i for i in self._items if i.key == key])
-            groups.append(group)
-        return groups
+        """Split into per-key sets (for ``key``-distributed edges).
+
+        Single pass over the items; previously this rescanned the whole
+        set once per distinct key.
+        """
+        return [
+            DataSet(self.ident, bucket)
+            for bucket in group_items_by_key(self._items).values()
+        ]
 
     def __repr__(self) -> str:
         return f"DataSet({self.ident!r}, {len(self._items)} items, {self.size} bytes)"
@@ -146,3 +206,6 @@ class DataSet:
 def total_size(sets: Iterable[DataSet]) -> int:
     """Total payload bytes across several sets."""
     return sum(s.size for s in sets)
+
+
+register_set_type(DataSet)

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..composition.graph import Distribution
-from ..data.items import DataItem, DataSet
+from ..data.items import DataItem, DataSet, group_items_by_key
 from ..errors import InvocationError
 
 __all__ = ["InstancePlan", "expand_instances"]
@@ -92,21 +92,21 @@ def expand_instances(
         return plans
 
     # KEY distribution: group by key, one instance per distinct key.
-    key_sets: list[list] = []
-    for _name, data in keyed:
-        key_sets.append(data.keys())
-    reference_keys = key_sets[0]
+    # One pass per delivered set (group_items_by_key) instead of the
+    # former rescan of the whole set for every distinct key; lazy sets
+    # group without materializing any payload.
+    groupings = [(name, group_items_by_key(data)) for name, data in keyed]
+    reference_keys = list(groupings[0][1])
     reference_set = set(reference_keys)
-    for keys, (name, _data) in zip(key_sets[1:], keyed[1:]):
-        if set(keys) != reference_set:
+    for _name, groups in groupings[1:]:
+        if set(groups) != reference_set:
             raise InvocationError(
                 f"node {node_name!r}: 'key' edges deliver mismatched key sets"
             )
     plans = []
     for index, key in enumerate(reference_keys):
         input_sets = [
-            DataSet(name, [item for item in data if item.key == key])
-            for name, data in keyed
+            DataSet(name, groups[key]) for name, groups in groupings
         ] + [_renamed(data, name) for name, data in broadcast]
         plans.append(InstancePlan(index=index, input_sets=input_sets, key=key))
     return plans

@@ -158,29 +158,88 @@ def bench_transfer_to(count: int = 20_000, payload: int = 64 * 1024) -> dict:
     }
 
 
-def bench_parse_sets(count: int = 20_000) -> dict:
-    """Strict output-parser throughput over a representative blob."""
-    from ..data.context import parse_sets, serialize_sets
+def _parse_bench_blob(items: int = 16, payload: int = 256) -> bytes:
+    """A representative response blob with seeded payload bytes."""
+    import random
+
+    from ..data.context import serialize_sets
     from ..data.items import DataItem, DataSet
 
-    blob = serialize_sets(
+    rng = random.Random(0x5EED)
+    return serialize_sets(
         [
             DataSet(
                 "response",
-                [DataItem(f"item{i}", b"p" * 256, key=f"key{i % 4}") for i in range(16)],
+                [
+                    DataItem(f"item{i}", rng.randbytes(payload), key=f"key{i % 4}")
+                    for i in range(items)
+                ],
             )
         ]
     )
-    start = time.perf_counter()
-    for _ in range(count):
-        parse_sets(blob)
-    elapsed = time.perf_counter() - start
-    return {
-        "seconds": round(elapsed, 4),
-        "operations": count,
-        "bytes_per_op": len(blob),
-        "bytes_per_second": round(count * len(blob) / elapsed) if elapsed > 0 else None,
-    }
+
+
+def _with_throughput(numbers: dict, bytes_per_op: int) -> dict:
+    numbers["bytes_per_op"] = bytes_per_op
+    ops = numbers.get("ops_per_second")
+    numbers["bytes_per_second"] = ops * bytes_per_op if ops else None
+    return numbers
+
+
+def bench_parse_sets(count: int = 20_000) -> dict:
+    """Strict output-parser throughput over a representative blob.
+
+    This is the validation/debug codec: it decodes every record *and*
+    cross-checks the v2 footer, so it is the upper bound on parse cost.
+    """
+    from ..data.context import parse_sets
+
+    blob = _parse_bench_blob()
+
+    def run() -> int:
+        for _ in range(count):
+            parse_sets(blob)
+        return count
+
+    return _with_throughput(_timed(run), len(blob))
+
+
+def bench_parse_sets_lazy_index(count: int = 20_000) -> dict:
+    """Zero-parse indexing: footer read only, no record ever decoded.
+
+    This is what ``MemoryContext.load_sets`` costs when a consumer
+    routes a set without inspecting it — the common dispatcher case.
+    """
+    from ..data.lazy import parse_sets_lazy
+
+    blob = _parse_bench_blob()
+
+    def run() -> int:
+        for _ in range(count):
+            parse_sets_lazy(blob)
+        return count
+
+    return _with_throughput(_timed(run), len(blob))
+
+
+def bench_parse_sets_lazy_full_touch(count: int = 20_000) -> dict:
+    """Lazy views with every payload materialized (worst case).
+
+    Upper bound for a consumer that reads every item: index build plus
+    per-item header decode plus one payload copy each.
+    """
+    from ..data.lazy import parse_sets_lazy
+
+    blob = _parse_bench_blob()
+
+    def run() -> int:
+        for _ in range(count):
+            for data_set in parse_sets_lazy(blob):
+                for item in data_set:
+                    item.data
+        return count
+
+    return _with_throughput(_timed(run), len(blob))
 
 
 def bench_dispatcher_single_request(count: int = 500) -> dict:
@@ -456,6 +515,8 @@ def run_bench(full: bool = False, output: str | None = DEFAULT_OUTPUT) -> dict:
             "store_sets_50k": bench_store_sets(),
             "transfer_to_20k_64KiB": bench_transfer_to(),
             "parse_sets_20k": bench_parse_sets(),
+            "parse_sets_lazy_index": bench_parse_sets_lazy_index(),
+            "parse_sets_lazy_full_touch": bench_parse_sets_lazy_full_touch(),
             "dispatcher_single_request_500": bench_dispatcher_single_request(),
         },
         "fault_tolerance": {

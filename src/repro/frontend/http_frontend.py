@@ -21,7 +21,7 @@ from typing import Optional
 from ..composition.dsl import parse_composition
 from ..composition.graph import Composition
 from ..composition.registry import FunctionBinary, Registry
-from ..data.items import DataItem, DataSet
+from ..data.items import DataItem, DataSet, is_data_set
 from ..dispatcher.dispatcher import Dispatcher, InvocationResult
 from ..net.http import HttpRequest, HttpResponse
 from ..net.network import HttpService
@@ -81,7 +81,7 @@ class Frontend(HttpService):
 
     @staticmethod
     def _as_data_set(name: str, value) -> DataSet:
-        if isinstance(value, DataSet):
+        if is_data_set(value):
             return value
         if isinstance(value, (bytes, bytearray)):
             return DataSet(name, [DataItem(name, bytes(value))])

@@ -304,6 +304,67 @@ def test_store_sets_overflow_fails_without_materializing():
     assert ctx.committed == 0
 
 
+def test_wire_version_default_is_v2():
+    from repro.data import WIRE_VERSION
+
+    assert WIRE_VERSION == 2
+    blob = serialize_sets(_sample_sets())
+    assert blob[:4] == b"DND2"
+
+
+def test_v1_serialize_parse_roundtrip():
+    sets = _sample_sets()
+    blob = serialize_sets(sets, version=1)
+    assert blob[:4] == b"DNDL"
+    parsed = parse_sets(blob)
+    assert [s.ident for s in parsed] == [s.ident for s in sets]
+    assert parsed[0].item("x").data == b"123"
+
+
+def test_unknown_wire_version_rejected():
+    with pytest.raises(ValueError):
+        serialize_sets(_sample_sets(), version=3)
+    with pytest.raises(ValueError):
+        serialized_size(_sample_sets(), version=3)
+
+
+def test_serialized_size_matches_both_versions():
+    sets = _sample_sets()
+    assert serialized_size(sets, version=1) == len(serialize_sets(sets, version=1))
+    assert serialized_size(sets, version=2) == len(serialize_sets(sets, version=2))
+    # v2 costs exactly the footer on top of v1: 8 bytes of extra
+    # header, 28 per set, 8 per item.
+    items = sum(len(s) for s in sets)
+    assert serialized_size(sets, version=2) - serialized_size(sets, version=1) == (
+        8 + 28 * len(sets) + 8 * items
+    )
+
+
+def test_strict_parse_rejects_tampered_footer():
+    import struct
+
+    blob = bytearray(serialize_sets(_sample_sets()))
+    _, set_count, footer_offset = struct.unpack_from("<4sIQ", blob, 0)
+    # Point the first set entry's offset one byte off: the footer no
+    # longer agrees with the body scan.
+    set_offset = struct.unpack_from("<Q", blob, footer_offset)[0]
+    struct.pack_into("<Q", blob, footer_offset, set_offset + 1)
+    with pytest.raises(ContextError):
+        parse_sets(bytes(blob))
+
+
+def test_strict_parse_rejects_body_not_ending_at_footer():
+    import struct
+
+    blob = bytearray(serialize_sets(_sample_sets()))
+    # Claim the footer starts one byte later than the body really ends.
+    footer_offset = struct.unpack_from("<Q", blob, 8)[0]
+    grown = blob[: footer_offset] + b"\x00" + blob[footer_offset:]
+    struct.pack_into("<Q", grown, 8, footer_offset + 1)
+    with pytest.raises(ContextError):
+        parse_sets(bytes(grown))
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.integers(1, 1 << 16), st.binary(min_size=1, max_size=512))
 def test_property_write_read_identity(capacity, data):

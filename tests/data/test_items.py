@@ -101,3 +101,35 @@ def test_grouped_by_key_partitions_items():
 def test_total_size():
     sets = [DataSet("a", [DataItem("i", b"123")]), DataSet("b", [DataItem("j", b"4567")])]
     assert total_size(sets) == 7
+
+
+def test_keys_and_grouping_with_many_distinct_keys():
+    # Regression for the O(items x keys) scans: every item carries its
+    # own key, which made keys()/grouped_by_key() quadratic before the
+    # single-pass rewrite.  2000 distinct keys finishes instantly now;
+    # the old implementation did 4M membership probes over a list.
+    count = 2000
+    data_set = DataSet(
+        "s", [DataItem(f"i{n}", b"x", key=f"k{n}") for n in range(count)]
+    )
+    data_set.add(DataItem("tail", b"y", key="k0"))  # repeat of the first key
+    assert data_set.keys() == [f"k{n}" for n in range(count)]
+    groups = data_set.grouped_by_key()
+    assert len(groups) == count
+    assert [item.ident for item in groups[0]] == ["i0", "tail"]
+    assert all(group.ident == "s" for group in groups)
+
+
+def test_group_items_by_key_single_pass_engine():
+    from repro.data import group_items_by_key
+
+    items = [
+        DataItem("a", b"", key="x"),
+        DataItem("b", b""),
+        DataItem("c", b"", key="x"),
+        DataItem("d", b"", key="y"),
+    ]
+    groups = group_items_by_key(items)
+    assert list(groups) == ["x", None, "y"]
+    assert [i.ident for i in groups["x"]] == ["a", "c"]
+    assert [i.ident for i in groups[None]] == ["b"]
