@@ -38,6 +38,7 @@ from .experiments import (
     run_fig08,
     run_fig09,
     run_fig10,
+    run_fig10_full,
     run_sec74,
     run_sec77,
     run_sec8_enforcement,
@@ -61,6 +62,7 @@ EXPERIMENTS = {
     "fig9scale": ("§7.7 scaling: large inputs, 1..N Dandelion nodes vs Athena", run_fig09_scaling),
     "sec77": ("§7.7: Text2SQL workflow breakdown", run_sec77),
     "fig10": ("Fig 10: Azure trace, Dandelion vs FC+Knative", run_fig10),
+    "fig10full": ("Fig 10 at 100x trace scale via the sharded simulator", None),
     "sec8": ("§8: TCB sizes + live enforcement checks", None),
 }
 
@@ -79,6 +81,25 @@ def _run_one(name: str, args) -> None:
         print(run_sec8_enforcement().render())
         print()
         print(run_sec8_static().render())
+    elif name == "fig10full":
+        result = run_fig10_full(
+            scale=args.trace_scale,
+            shards=args.shards,
+            engine=args.engine,
+            executor=args.executor,
+        )
+        print(result.render())
+        for platform, stats in result.meta["platforms"].items():
+            print(
+                f"[{platform}: {stats['wall_seconds']}s wall, "
+                f"{stats['events']:,} events "
+                f"({stats['events_per_second']:,}/s) over "
+                f"{stats['windows']} windows; per-shard stall "
+                + ", ".join(
+                    f"{s['stall_seconds']:.2f}s" for s in stats["shard_stats"]
+                )
+                + "]"
+            )
     elif name in ("fig1", "fig10"):
         from .experiments.common import ascii_chart
 
@@ -117,6 +138,22 @@ def main(argv=None) -> int:
         "--profile", action="store_true",
         help="run under cProfile and print the top 25 cumulative entries",
     )
+    run_parser.add_argument(
+        "--trace-scale", type=float, default=100.0,
+        help="fig10full: trace scale vs the 100-function sample (default 100)",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=4,
+        help="fig10full: shard count (KPIs are invariant to it; default 4)",
+    )
+    run_parser.add_argument(
+        "--engine", choices=("lean", "classic"), default="lean",
+        help="fig10full: shard kernel (default lean)",
+    )
+    run_parser.add_argument(
+        "--executor", choices=("auto", "serial", "process"), default="auto",
+        help="fig10full: shard executor (default auto: process when CPUs allow)",
+    )
     bench_parser = subparsers.add_parser(
         "bench", help="benchmark the simulation kernel, emit a JSON report"
     )
@@ -127,6 +164,10 @@ def main(argv=None) -> int:
     bench_parser.add_argument(
         "--output", default="BENCH_sim_kernel.json",
         help="JSON report path (default BENCH_sim_kernel.json); '-' to skip writing",
+    )
+    bench_parser.add_argument(
+        "--only", nargs="+", default=None, metavar="GROUP",
+        help="run only the named top-level bench groups (see BENCH_GROUPS)",
     )
     lint_parser = subparsers.add_parser(
         "lint", help="run the static-analysis passes (docs/static_analysis.md)"
@@ -188,11 +229,17 @@ def main(argv=None) -> int:
         started = time.time()
         output = None if args.output == "-" else args.output
         try:
-            report = run_bench(full=args.full, output=output)
+            report = run_bench(full=args.full, output=output, only=args.only)
+        except KeyError as exc:
+            print(f"bench: {exc.args[0]}", file=sys.stderr)
+            return 2
         except OSError as exc:
             print(f"cannot write bench report: {exc}", file=sys.stderr)
             return 1
-        def _print_bench(name: str, numbers: dict, indent: str = "") -> None:
+        def _print_bench(name: str, numbers, indent: str = "") -> None:
+            if not isinstance(numbers, dict):  # scalar (e.g. a speedup ratio)
+                print(f"{indent}{name}: {numbers}")
+                return
             if "seconds" not in numbers:  # nested group (dispatcher_data_plane)
                 print(f"{indent}{name}:")
                 for sub_name, sub_numbers in numbers.items():

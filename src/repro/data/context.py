@@ -274,6 +274,15 @@ def serialize_sets(sets: Iterable[DataSet], version: int = WIRE_VERSION) -> byte
     set_entries: list[tuple[int, int, int, int]] = []
     item_offsets: list[int] = []
     for data_set in sets:
+        if getattr(data_set, "_body", None) is not None:
+            spliced = _splice_lazy_set(data_set, offset)
+            if spliced is not None:
+                record, entry, shifted_offsets = spliced
+                parts.append(record)
+                offset += len(record)
+                set_entries.append(entry)
+                item_offsets.extend(shifted_offsets)
+                continue
         set_offset = offset
         name = _encode_name(data_set.ident)
         count = len(data_set)
@@ -303,6 +312,38 @@ def serialize_sets(sets: Iterable[DataSet], version: int = WIRE_VERSION) -> byte
         parts.append(_SET_ENTRY.pack(*entry))
     parts.append(struct.pack(f"<{len(item_offsets)}Q", *item_offsets))
     return b"".join(parts)
+
+
+def _splice_lazy_set(data_set, offset: int):
+    """Zero-copy re-encode of an unmodified lazy set view.
+
+    A :class:`~repro.data.lazy.LazyDataSet` stored back as-is already
+    *is* valid v2 body bytes — its name record, item count, and item
+    records sit contiguously in the source blob.  Splice that byte
+    range into the output (one slice, no per-item decode or payload
+    materialization) and shift the source footer's item offsets by the
+    relocation delta.  Returns ``(record, set_entry, item_offsets)``,
+    or ``None`` when the view must take the slow path (renamed views:
+    the name on the wire is not the name being stored).
+    """
+    body = data_set._body
+    blob = body.blob
+    start = body.set_offset
+    ident = data_set._ident
+    if ident is not None and ident != body.set_name():
+        return None
+    (name_length,) = _LENGTH.unpack_from(blob, start)
+    end = start + 8 + name_length + data_set._wire  # name rec + count + items
+    if end > body.limit:  # malformed footer: let the slow path diagnose
+        return None
+    offsets = body.offsets
+    if offsets is None:
+        offsets = body.offsets = struct.unpack_from(
+            f"<{body.count}Q", body.offsets_blob, body.flat_start
+        )
+    delta = offset - start
+    entry = (offset, body.count, data_set._payload_total, data_set._wire)
+    return blob[start:end], entry, [o + delta for o in offsets]
 
 
 def serialized_size(sets: Iterable[DataSet], version: int = WIRE_VERSION) -> int:

@@ -26,7 +26,7 @@ from typing import Callable
 from ..sim.core import Environment
 from ..sim.cpu import ProcessorSharingCpu
 
-__all__ = ["run_bench", "DEFAULT_OUTPUT", "REFERENCE"]
+__all__ = ["run_bench", "BENCH_GROUPS", "DEFAULT_OUTPUT", "REFERENCE"]
 
 DEFAULT_OUTPUT = "BENCH_sim_kernel.json"
 
@@ -131,6 +131,32 @@ def bench_store_sets(count: int = 50_000) -> dict:
         "bytes_per_op": size,
         "accounted_bytes_per_second": round(count * size / elapsed) if elapsed > 0 else None,
     }
+
+
+def bench_store_sets_lazy_passthrough(count: int = 20_000) -> dict:
+    """Re-encoding unmodified lazy views: the splice fast path.
+
+    Parses a representative blob once, then re-serializes the lazy set
+    views ``count`` times — the store-back-what-you-loaded pattern the
+    dispatcher hits when a function forwards sets untouched.  The fast
+    path splices each set's byte range from the source blob (one slice
+    per set, zero item decodes), so throughput should sit near memcpy
+    speed; a regression to per-item re-encoding is roughly an order of
+    magnitude.
+    """
+    from ..data.context import serialize_sets
+    from ..data.lazy import parse_sets_lazy
+
+    blob = _parse_bench_blob()
+    sets = parse_sets_lazy(blob)
+    assert serialize_sets(sets) == blob  # splice must be byte-faithful
+
+    def run() -> int:
+        for _ in range(count):
+            serialize_sets(sets)
+        return count
+
+    return _with_throughput(_timed(run), len(blob))
 
 
 def bench_transfer_to(count: int = 20_000, payload: int = 64 * 1024) -> dict:
@@ -505,35 +531,86 @@ def bench_fig05_full() -> float:
     return time.perf_counter() - start
 
 
-def run_bench(full: bool = False, output: str | None = DEFAULT_OUTPUT) -> dict:
-    """Run the kernel benchmark suite; optionally write ``output``."""
-    benchmarks = {
-        "timeout_churn_200k": _timed(bench_timeout_churn),
-        "process_spawn_50k": _timed(bench_process_spawn),
-        "ps_cpu_loaded_20k_jobs_4_cores": _timed(bench_ps_cpu_loaded),
-        "dispatcher_data_plane": {
-            "store_sets_50k": bench_store_sets(),
-            "transfer_to_20k_64KiB": bench_transfer_to(),
-            "parse_sets_20k": bench_parse_sets(),
-            "parse_sets_lazy_index": bench_parse_sets_lazy_index(),
-            "parse_sets_lazy_full_touch": bench_parse_sets_lazy_full_touch(),
-            "dispatcher_single_request_500": bench_dispatcher_single_request(),
+def _bench_trace_scale_group() -> dict:
+    """Sharded replay vs the pre-PR single kernel at 10× trace scale.
+
+    Delegates to :mod:`.bench_trace_scale`, which also refreshes
+    ``BENCH_trace_scale.json`` (its own gated report, carrying the 100×
+    acceptance record alongside the re-measured 10× matrix).
+    """
+    from .bench_trace_scale import DEFAULT_OUTPUT as TRACE_SCALE_OUTPUT
+    from .bench_trace_scale import run_trace_scale_bench
+
+    report = run_trace_scale_bench(scales=(10.0,), output=TRACE_SCALE_OUTPUT)
+    matrix = report["measured"]["scale_10x"]
+    return {
+        "baseline_single_kernel": {
+            "seconds": matrix["rows"][0]["wall_seconds"],
+            "operations": matrix["rows"][0]["invocations"],
         },
-        "fault_tolerance": {
-            "retry_backoff_300": bench_retry_backoff(),
+        "sharded_lean_4_auto": {
+            "seconds": matrix["rows"][-1]["wall_seconds"],
+            "operations": matrix["rows"][-1]["invocations"],
+            "ops_per_second": matrix["rows"][-1]["events_per_second"],
         },
-        "scheduling": {
-            "policy_decisions_50k": bench_policy_decisions(),
-            "snapshot_build_100k": bench_snapshot_build(),
-            "cluster_routed_invocation_500": bench_cluster_routed_invocation(),
-        },
-        "static_analysis": {
-            "purity_verification_25x": bench_purity_verification(),
-            "self_lint_sweep": bench_self_lint(),
-        },
-        "fig05_reduced": {"seconds": round(bench_fig05_reduced(), 4)},
+        "speedup_4_shards_vs_baseline": matrix["speedup_4_shards_vs_baseline"],
     }
-    if full:
+
+
+# Group name -> thunk; ``--only <group>`` picks a subset (the CI
+# perf-smoke job runs just the gated groups instead of the full suite).
+BENCH_GROUPS: "dict[str, Callable[[], dict]]" = {
+    "timeout_churn_200k": lambda: _timed(bench_timeout_churn),
+    "process_spawn_50k": lambda: _timed(bench_process_spawn),
+    "ps_cpu_loaded_20k_jobs_4_cores": lambda: _timed(bench_ps_cpu_loaded),
+    "dispatcher_data_plane": lambda: {
+        "store_sets_50k": bench_store_sets(),
+        "store_sets_lazy_passthrough_20k": bench_store_sets_lazy_passthrough(),
+        "transfer_to_20k_64KiB": bench_transfer_to(),
+        "parse_sets_20k": bench_parse_sets(),
+        "parse_sets_lazy_index": bench_parse_sets_lazy_index(),
+        "parse_sets_lazy_full_touch": bench_parse_sets_lazy_full_touch(),
+        "dispatcher_single_request_500": bench_dispatcher_single_request(),
+    },
+    "fault_tolerance": lambda: {
+        "retry_backoff_300": bench_retry_backoff(),
+    },
+    "scheduling": lambda: {
+        "policy_decisions_50k": bench_policy_decisions(),
+        "snapshot_build_100k": bench_snapshot_build(),
+        "cluster_routed_invocation_500": bench_cluster_routed_invocation(),
+    },
+    "static_analysis": lambda: {
+        "purity_verification_25x": bench_purity_verification(),
+        "self_lint_sweep": bench_self_lint(),
+    },
+    "fig05_reduced": lambda: {"seconds": round(bench_fig05_reduced(), 4)},
+    "trace_scale": _bench_trace_scale_group,
+}
+
+
+def run_bench(
+    full: bool = False,
+    output: str | None = DEFAULT_OUTPUT,
+    only: "list[str] | None" = None,
+) -> dict:
+    """Run the kernel benchmark suite; optionally write ``output``.
+
+    ``only`` restricts the run to the named top-level groups (see
+    :data:`BENCH_GROUPS`); unknown names raise ``KeyError`` so a typo
+    in a CI job fails loudly instead of silently benchmarking nothing.
+    """
+    if only:
+        unknown = [name for name in only if name not in BENCH_GROUPS]
+        if unknown:
+            raise KeyError(
+                f"unknown bench groups {unknown}; available: {list(BENCH_GROUPS)}"
+            )
+        selected = [name for name in BENCH_GROUPS if name in set(only)]
+    else:
+        selected = list(BENCH_GROUPS)
+    benchmarks = {name: BENCH_GROUPS[name]() for name in selected}
+    if full and not only:
         benchmarks["fig05_full"] = {"seconds": round(bench_fig05_full(), 2)}
     report = {
         "schema": "repro-bench-sim-kernel/v1",

@@ -48,13 +48,21 @@ def render_table(headers: list[str], rows: Iterable[dict]) -> str:
 
 @dataclass
 class ExperimentResult:
-    """Rows + metadata of one experiment run."""
+    """Rows + metadata of one experiment run.
+
+    ``meta`` carries machine-facing observability (wall clocks,
+    per-shard statistics, run configuration) that deliberately stays
+    out of :meth:`render`: rendered output is the deterministic,
+    comparison-ready record, ``meta`` is where run-dependent numbers
+    live so they never contaminate golden comparisons.
+    """
 
     name: str
     description: str
     headers: list[str]
     rows: list[dict] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     def add_row(self, **cells) -> None:
         self.rows.append(cells)

@@ -60,9 +60,21 @@ class RoutingPolicy:
 
 
 def _least_outstanding_choice(snapshot: ClusterSnapshot, candidates) -> int:
-    """Fewest in-flight invocations, ties broken by worker index."""
-    in_flight = snapshot.in_flight
-    return min(candidates, key=lambda index: (in_flight(index), index))
+    """Fewest in-flight invocations, ties broken by worker index.
+
+    Runs once per routed invocation, so the scan indexes the snapshot's
+    per-worker counters directly (the documented ``in_flight(i)``
+    contract) instead of paying a key-function allocation per decision.
+    """
+    loads = snapshot._in_flight
+    best = None
+    best_load = None
+    for index in candidates:
+        load = loads[index]
+        if best is None or load < best_load or (load == best_load and index < best):
+            best = index
+            best_load = load
+    return best
 
 
 class RoundRobin(RoutingPolicy):

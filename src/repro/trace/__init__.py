@@ -10,8 +10,11 @@ from .replay import (
     replay_on_faas,
 )
 from .sampler import sample_functions, sample_trace
+from .stream import StreamedTrace, streamed_trace
 
 __all__ = [
+    "StreamedTrace",
+    "streamed_trace",
     "AzureTrace",
     "Invocation",
     "TraceFunction",

@@ -1,0 +1,55 @@
+"""fig10_full: reduced-scale correctness and shard invariance."""
+
+import pytest
+
+from repro.experiments import run_fig10_full
+from repro.experiments.fig10_full import _fleet_for, full_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig10_full(scale=1.0, shards=2, executor="serial")
+
+
+def test_rows_cover_both_platforms(result):
+    platforms = result.column("platform")
+    assert platforms == ["dandelion", "faas"]
+    dandelion = result.row(platform="dandelion")
+    faas = result.row(platform="faas")
+    assert dandelion["invocations"] == faas["invocations"] > 0
+    # The paper's qualitative claims at any scale: Dandelion commits
+    # far less memory and keeps a lower tail than FC+Knative.
+    assert dandelion["committed_mean_mib"] < faas["committed_mean_mib"]
+    assert dandelion["p99_ms"] < faas["p99_ms"]
+    assert dandelion["cold_fraction"] == 1.0
+    assert 0.0 < faas["cold_fraction"] < 1.0
+
+
+def test_render_is_shard_count_invariant(result):
+    other = run_fig10_full(scale=1.0, shards=1, executor="serial")
+    assert other.render() == result.render()
+
+
+def test_meta_carries_observability_not_rendered(result):
+    meta = result.meta
+    assert meta["shards"] == 2
+    for platform in ("dandelion", "faas"):
+        stats = meta["platforms"][platform]
+        assert stats["wall_seconds"] > 0
+        assert stats["events"] > 0
+        assert stats["windows"] > 0
+        assert len(stats["shard_stats"]) == 2
+    rendered = result.render()
+    assert "wall_seconds" not in rendered
+    assert "shard_stats" not in rendered
+
+
+def test_full_trace_scales_population():
+    trace = full_trace(scale=2.0)
+    assert trace.function_count == 200
+    assert trace.duration_seconds == 1200.0
+
+
+def test_fleet_sizing():
+    assert _fleet_for(100.0) == (25, 64)
+    assert _fleet_for(10.0) == (4, 64)  # never below a real 4-way split
