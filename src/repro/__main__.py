@@ -31,6 +31,7 @@ from .experiments import (
     run_fig09_scaling,
     run_sec61,
     run_sec62,
+    run_sec63,
     run_fig02,
     run_fig05,
     run_fig06,
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "fig6": ("Fig 6: 128x128 matmul throughput, 16 cores", run_fig06),
     "sec61": ("§6.1: fault tolerance, goodput/p99 under injected faults", run_sec61),
     "sec62": ("§6.2: scheduling policy sweep, goodput/p99 vs fleet size", run_sec62),
+    "sec63": ("§6.3: gray failures, limplock severity vs latency/hedging detectors", run_sec63),
     "sec74": ("§7.4: composition overhead vs chain depth", run_sec74),
     "fig7": ("Fig 7: compute/comm split vs D-hybrid", run_fig07),
     "fig8": ("Fig 8: multiplexing mixed apps under bursty load", run_fig08),

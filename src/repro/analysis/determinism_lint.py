@@ -60,6 +60,8 @@ HOT_PATH_MODULES = (
     "data/lazy.py",
     "sched/snapshots.py",
     "sched/routing.py",
+    "engines/throttle.py",
+    "cluster/health.py",
     "sched/sandbox.py",
     "sched/scaling.py",
     "sched/cores.py",

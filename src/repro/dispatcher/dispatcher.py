@@ -618,19 +618,44 @@ class Dispatcher:
             node_name=node_name,
             instance_index=plan.index,
         )
+        # The deadline is a budget for the whole node execution —
+        # attempts *and* the backoff sleeps between them — anchored at
+        # first submission.  (Per-attempt deadlines let a retry chain
+        # sleep past the point the caller stopped waiting.)
+        deadline_at = (
+            self.env.now + task.timeout if task.timeout is not None else None
+        )
         attempts = 0
         while True:
             group.submit(task)
-            outcome = yield from self._await_task(task)
+            outcome = yield from self._await_task(task, deadline_at)
             if outcome.success:
                 break
             if outcome.transient and attempts < self.max_retries:
                 attempts += 1
                 self.retries_performed += 1
+                delay = self._backoff_seconds(attempts)
+                if deadline_at is not None and delay >= deadline_at - self.env.now:
+                    # The backoff sleep alone would overrun the
+                    # deadline; surface DeadlineExceeded now instead of
+                    # sleeping past the point the caller gave up.
+                    self.deadline_expirations += 1
+                    self._release_context(context)
+                    return (
+                        NodeFailure(
+                            node_name,
+                            DeadlineExceeded(
+                                f"node {node_name!r} exhausted its "
+                                f"{task.timeout}s deadline backing off for "
+                                f"retry {attempts}"
+                            ),
+                        ),
+                        None,
+                    )
                 # Back off through virtual time before re-submitting —
                 # an immediate resubmit would hit the same crashed
                 # engine state in the same simulated instant.
-                yield self.env.timeout(self._backoff_seconds(attempts))
+                yield self.env.timeout(delay)
                 # Retry the same task with fresh per-attempt state: a
                 # new completion event and a re-drawn cache outcome
                 # (identical rng stream to rebuilding the task).
@@ -654,20 +679,34 @@ class Dispatcher:
         self.memory.observe(context)
         return outcome.outputs, context
 
-    def _await_task(self, task: Task):
+    def _await_task(self, task: Task, deadline_at=None):
         """Wait on a task's completion, bounded by its deadline (§6.1).
 
         Without a timeout this is a bare wait — the exact event stream
         the fast path has always had.  With one, the wait races the
-        completion against ``env.timeout``; a missed deadline yields a
-        non-retryable :class:`DeadlineExceeded` outcome.  The engine may
-        still finish the task later in virtual time, but its completion
-        then fires with no waiters and the result is discarded.
+        completion against the *remaining* budget until ``deadline_at``
+        (anchored at first submission, so retries never extend it); a
+        missed deadline yields a non-retryable
+        :class:`DeadlineExceeded` outcome.  The engine may still finish
+        the task later in virtual time, but its completion then fires
+        with no waiters and the result is discarded.
         """
         if task.timeout is None:
             outcome = yield task.completion
             return outcome
-        deadline = self.env.timeout(task.timeout)
+        remaining = (
+            task.timeout if deadline_at is None else deadline_at - self.env.now
+        )
+        if remaining <= 0:
+            self.deadline_expirations += 1
+            return TaskOutcome(
+                success=False,
+                error=DeadlineExceeded(
+                    f"node {task.node_name!r} missed its {task.timeout}s deadline"
+                ),
+                transient=False,
+            )
+        deadline = self.env.timeout(remaining)
         yield self.env.any_of([task.completion, deadline])
         if task.completion.processed:
             return task.completion.value

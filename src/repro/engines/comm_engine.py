@@ -64,12 +64,19 @@ class CommunicationEngine:
         failure_rng=None,
         transient_failure_rate: float = 0.0,
         max_retries: int = 2,
+        throttle=None,
     ):
         self.env = env
         self.queue = queue
         self.network = network
         self.name = name
         self.max_green_threads = max_green_threads
+        # Degraded-mode (limplock) model: stretches both the serial CPU
+        # work and the network exchange time by the worker's shared
+        # throttle multiplier (a slow NIC slows the wire, a slow core
+        # slows parsing).  Healthy workers multiply by exactly 1.0 and
+        # schedule no extra events.
+        self._throttle = throttle
         self.tasks_executed = 0
         self.busy_seconds = 0.0
         self.active_green_threads = 0
@@ -102,6 +109,8 @@ class CommunicationEngine:
                 break
             # Serialized CPU work on this core: parse and validate.
             cpu = self._cpu_seconds(task)
+            if self._throttle is not None:
+                cpu *= self._throttle.multiplier
             yield self.env.timeout(cpu)
             self.busy_seconds += cpu
             self.tasks_executed += 1
@@ -154,6 +163,39 @@ class CommunicationEngine:
         finally:
             self.active_green_threads -= 1
         task.completion.succeed(outcome)
+
+    def _perform(self, request: HttpRequest):
+        """One HTTP exchange, stretched by the worker's limp factor.
+
+        A limping NIC makes the whole wire exchange proportionally
+        slower: the extra wait is scheduled *after* the real exchange so
+        the stretch composes with whatever the network model charged.
+        Healthy workers take the exact pass-through path (no extra
+        events).
+        """
+        throttle = self._throttle
+        if throttle is None or throttle.multiplier <= 1.0:
+            response = yield from self.network.perform(request)
+            return response
+        started = self.env.now
+        response = yield from self.network.perform(request)
+        extra = (throttle.multiplier - 1.0) * (self.env.now - started)
+        if extra > 0:
+            yield self.env.timeout(extra)
+        return response
+
+    def _perform_kv(self, host, op, key, value):
+        """One key-value exchange, stretched like :meth:`_perform`."""
+        throttle = self._throttle
+        if throttle is None or throttle.multiplier <= 1.0:
+            result = yield from self.network.perform_kv(host, op, key, value)
+            return result
+        started = self.env.now
+        result = yield from self.network.perform_kv(host, op, key, value)
+        extra = (throttle.multiplier - 1.0) * (self.env.now - started)
+        if extra > 0:
+            yield self.env.timeout(extra)
+        return result
 
     def _one_exchange(self, item: DataItem, protocol: str = "http", timeout=None):
         """Carry one request item through sanitization and the network.
@@ -214,13 +256,15 @@ class CommunicationEngine:
                 ).encode()
                 return DataItem(item.ident, payload, key=item.key)
             if timeout is None:
-                response = yield from self.network.perform(request)
+                response = yield from self._perform(request)
             else:
                 # Race the exchange against the task deadline (§6.1).
                 # The exchange runs as its own process so an overdue
                 # network round trip can be abandoned mid-flight; its
-                # eventual result, if any, is discarded.
-                exchange = self.env.process(self.network.perform(request))
+                # eventual result, if any, is discarded.  The limp
+                # stretch runs inside the raced process, so a limping
+                # NIC's slow exchanges hit the deadline like real ones.
+                exchange = self.env.process(self._perform(request))
                 yield self.env.any_of([exchange, self.env.timeout(timeout)])
                 if not exchange.processed:
                     self.exchange_timeouts += 1
@@ -297,12 +341,12 @@ class CommunicationEngine:
         retryable = envelope["op"] in IDEMPOTENT_KV_OPS
         while True:
             if timeout is None:
-                status, value, reason = yield from self.network.perform_kv(
+                status, value, reason = yield from self._perform_kv(
                     envelope["host"], envelope["op"], envelope["key"], envelope["value"]
                 )
             else:
                 exchange = self.env.process(
-                    self.network.perform_kv(
+                    self._perform_kv(
                         envelope["host"], envelope["op"], envelope["key"], envelope["value"]
                     )
                 )

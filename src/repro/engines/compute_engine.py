@@ -40,6 +40,7 @@ class ComputeEngine:
         failure_rng=None,
         transient_failure_rate: float = 0.0,
         batch_guard: bool = False,
+        throttle=None,
     ):
         self.env = env
         self.queue = queue
@@ -50,6 +51,11 @@ class ComputeEngine:
         self.stopped = env.event()
         self._failure_rng = failure_rng
         self._transient_failure_rate = transient_failure_rate
+        # Degraded-mode (limplock) model: the worker's shared throttle
+        # stretches service times.  Healthy workers have multiplier 1.0
+        # and `service * 1.0 == service` exactly, so the fault-free
+        # event stream is bit-identical to a build without throttling.
+        self._throttle = throttle
         # Engine-scoped purity guard: hold the (re-entrant) guard for
         # the engine's whole lifetime so each compute run's own guard
         # is a counter bump instead of the patch/unpatch loop.  Only
@@ -70,6 +76,8 @@ class ComputeEngine:
                     break
                 outcome = self._execute(task)
                 service = outcome.service_seconds
+                if self._throttle is not None:
+                    service *= self._throttle.multiplier
                 if service > 0:
                     # Fire the completion directly at now + service and
                     # stay busy by waiting on it — one event instead of

@@ -13,6 +13,7 @@ from .fig10_full import full_trace, run_fig10_full
 from .loaded_dandelion import DandelionLoadModel
 from .sec61_fault_tolerance import run_sec61
 from .sec62_scheduling import run_sec62
+from .sec63_gray_failures import run_sec63
 from .sec74_composition_chain import run_sec74
 from .sec77_text2sql import run_sec77
 from .sec8_security import run_sec8_enforcement, run_sec8_static, run_sec8_tcb
@@ -39,6 +40,7 @@ __all__ = [
     "DandelionLoadModel",
     "run_sec61",
     "run_sec62",
+    "run_sec63",
     "run_sec74",
     "run_sec77",
     "run_sec8_enforcement",

@@ -360,6 +360,99 @@ def bench_retry_backoff(count: int = 300) -> dict:
     }
 
 
+def bench_health_observe(count: int = 200_000) -> dict:
+    """Latency health tracker fold: one ``observe`` per completion.
+
+    The gray-failure detector sits on every cluster completion, so its
+    per-sample cost must stay O(1) dict work — no rescans, no sorting.
+    The stream alternates a slow worker in so quarantine flips (the
+    only non-O(1) edge, rare by hysteresis) are exercised too.
+    """
+    from ..cluster.health import LatencyHealthTracker
+
+    tracker = LatencyHealthTracker()
+    workers = 16
+    start = time.perf_counter()
+    for step in range(count):
+        index = step % workers
+        latency = 10e-3 if index == 0 and (step // workers) % 64 < 32 else 1e-3
+        tracker.observe(index, latency)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "operations": count,
+        "ops_per_second": round(count / elapsed) if elapsed > 0 else None,
+        "quarantine_flips": tracker.quarantine_entries + tracker.quarantine_exits,
+    }
+
+
+def bench_gray_cluster_invocation(count: int = 300) -> dict:
+    """End-to-end routed invocations with the full gray-failure stack on.
+
+    Latency health + gray policy + hedging against a 3-worker fleet
+    with one limping worker: the per-invocation overhead of the EWMA
+    fold, the preferred-ring snapshot, and the hedge bookkeeping all
+    land on this path.  Compare against ``cluster_routed_invocation``
+    (scheduling group) for the health-off baseline.
+    """
+    from ..cluster.manager import ClusterManager
+    from ..functions import compute_function
+    from ..worker import WorkerConfig
+
+    # Compute-dominated (1 ms vs ~an order less of fixed overhead) so
+    # the 8x limp is actually visible to the latency detector.
+    @compute_function(compute_cost=1e-3, name="bench_gray_echo")
+    def bench_gray_echo(vfs):
+        vfs.write_bytes("/out/result/reply", vfs.read_bytes("/in/input/request"))
+
+    cluster = ClusterManager(
+        worker_count=3,
+        worker_config=WorkerConfig(
+            total_cores=2, control_plane_enabled=False, seed=13
+        ),
+        policy="gray",
+        latency_health=True,
+        hedge=True,
+        hedge_min_samples=10,
+        seed=13,
+    )
+    cluster.register_function(bench_gray_echo)
+    cluster.register_composition(
+        """
+        composition bench_gray {
+            compute echo uses bench_gray_echo in(input) out(result);
+            input input -> echo.input;
+            output echo.result -> result;
+        }
+        """
+    )
+    cluster.limp_worker(0, 8.0)
+    env = cluster.env
+
+    def one():
+        yield cluster.invoke("bench_gray", {"input": b"ping"})
+
+    def batch(width):
+        processes = [env.process(one()) for _ in range(width)]
+        env.run(until=env.all_of(processes))
+
+    batch(3)  # warm-up
+    start = time.perf_counter()
+    # Batches of 3 keep all workers in play (serial invocations would
+    # tie-break to one worker and never feed the peer baseline).
+    for _ in range(count // 3):
+        batch(3)
+    elapsed = time.perf_counter() - start
+    gray = cluster.stats()["gray"]
+    return {
+        "seconds": round(elapsed, 4),
+        "operations": count,
+        "ops_per_second": round(count / elapsed) if elapsed > 0 else None,
+        "quarantine_entries": gray["quarantine_entries"],
+        "hedges_issued": gray["hedges_issued"],
+    }
+
+
 def bench_policy_decisions(count: int = 50_000) -> dict:
     """Routing-policy decision throughput over a fixed fleet snapshot.
 
@@ -574,6 +667,8 @@ BENCH_GROUPS: "dict[str, Callable[[], dict]]" = {
     },
     "fault_tolerance": lambda: {
         "retry_backoff_300": bench_retry_backoff(),
+        "health_observe_200k": bench_health_observe(),
+        "gray_cluster_invocation_300": bench_gray_cluster_invocation(),
     },
     "scheduling": lambda: {
         "policy_decisions_50k": bench_policy_decisions(),

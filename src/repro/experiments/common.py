@@ -19,6 +19,10 @@ def fmt(value, digits: int = 3) -> str:
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):
+        if value != value:
+            # NaN means "no samples" (e.g. an arm with zero
+            # completions); a dash reads better than "nan" in tables.
+            return "-"
         if value == 0:
             return "0"
         if abs(value) >= 1000:

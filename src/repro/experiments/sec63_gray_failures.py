@@ -1,0 +1,199 @@
+"""§6.3 — gray failures: limplock workers vs latency-based defenses.
+
+§6.1's fault story covers workers that *die*: fail-stop detection
+removes them from the routing ring and in-flight work re-routes.  Real
+fleets degrade before they die — a failing disk or flaky NIC leaves a
+worker nominally healthy while it serves every request several times
+slower (the "limplock" regime), and a fail-stop detector is blind to
+it: the slow worker keeps absorbing its share of traffic and poisons
+cluster-wide tail latency and goodput.
+
+This experiment injects seeded limp cycles (severity × duration, per
+worker, from forked RNG streams — see
+:class:`~repro.cluster.faults.WorkerFaultInjector`) and sweeps three
+detector configurations over a severity ladder:
+
+* ``fail-stop`` — the §6.1 baseline: least-outstanding routing, no
+  latency health.  Limping workers stay in full rotation.
+* ``latency`` — the ``gray`` routing policy over the cluster's
+  per-worker completion-latency EWMA: workers whose score drifts past
+  the quarantine factor are sidelined (with load-bounded spill-back,
+  so they keep a recovery trickle).
+* ``latency+hedge`` — additionally re-issue an invocation to a second
+  worker once it has been outstanding longer than the p95 of observed
+  latency, first completion wins.  Hedges are budget-capped at a small
+  fraction of traffic and only sent for pure-compute (idempotent)
+  compositions.
+
+The per-invocation deadline is deliberately tight (a few multiples of
+the healthy service time): a severely limping worker pushes its work
+past the deadline, so blindness to gray failure costs *goodput*, not
+just tail latency.  Every run is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from ..cluster.faults import WorkerFaultInjector
+from ..cluster.manager import ClusterManager
+from ..functions.sdk import compute_function
+from ..sim.distributions import Rng
+from ..worker import WorkerConfig
+from .common import ExperimentResult
+
+__all__ = ["run_sec63"]
+
+_COMPOSITION = """
+composition gray_echo {
+    compute e uses gray_echo_fn in(data) out(result);
+    input data -> e.data;
+    output e.result -> result;
+}
+"""
+
+# Healthy service time is ~4 ms; the deadline is 5x that.  The severity
+# ladder then crosses two regimes: at 4x the limped worker still beats
+# the deadline, so gray failure is pure tail-latency pain (slow
+# successes); at 8x it cannot, and blindness to gray failure costs
+# goodput outright.
+_COMPUTE_SECONDS = 4e-3
+_DEADLINE_SECONDS = 20e-3
+
+_DETECTORS = ("fail-stop", "latency", "latency+hedge")
+
+
+def _echo_binary():
+    @compute_function(name="gray_echo_fn", compute_cost=_COMPUTE_SECONDS)
+    def gray_echo_fn(vfs):
+        vfs.write_bytes("/out/result/data", vfs.read_bytes("/in/data/data"))
+
+    return gray_echo_fn
+
+
+def _make_cluster(
+    workers: int,
+    cores: int,
+    detector: str,
+    hedge_budget_fraction: float,
+    seed: int,
+) -> ClusterManager:
+    config = WorkerConfig(
+        total_cores=cores,
+        control_plane_enabled=False,
+        max_retries=3,
+        default_timeout=_DEADLINE_SECONDS,
+        seed=seed,
+    )
+    with_health = detector != "fail-stop"
+    cluster = ClusterManager(
+        worker_count=workers,
+        worker_config=config,
+        policy="gray" if with_health else "least_loaded",
+        seed=seed,
+        latency_health=with_health,
+        hedge=detector == "latency+hedge",
+        hedge_percentile=95.0,
+        hedge_budget_fraction=hedge_budget_fraction,
+    )
+    cluster.register_function(_echo_binary())
+    cluster.register_composition(_COMPOSITION)
+    return cluster
+
+
+def _drive(cluster: ClusterManager, rps: float, duration_seconds: float, seed: int):
+    """Poisson arrivals against the cluster; returns (offered, completed)."""
+    env = cluster.env
+    arrivals = Rng(seed).poisson_arrivals(rps, duration_seconds)
+    completed = [0]
+
+    def one(arrive_at):
+        delay = arrive_at - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        result = yield cluster.invoke("gray_echo", {"data": b"ping"})
+        if result.ok:
+            completed[0] += 1
+
+    def driver():
+        processes = [env.process(one(t)) for t in arrivals]
+        if processes:
+            yield env.all_of(processes)
+
+    env.run(until=env.process(driver()))
+    return len(arrivals), completed[0]
+
+
+def run_sec63(
+    rps: float = 150.0,
+    duration_seconds: float = 4.0,
+    workers: int = 4,
+    cores: int = 4,
+    severities: tuple = (1.0, 2.0, 4.0, 8.0),
+    detectors: tuple = _DETECTORS,
+    limp_mttf_seconds: float = 3.0,
+    limp_duration_seconds: float = 0.5,
+    hedge_budget_fraction: float = 0.10,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="§6.3",
+        description="gray failures: limplock severity vs fail-stop / "
+        "latency-quarantine / hedging detectors",
+        headers=[
+            "severity",
+            "detector",
+            "limps",
+            "quarantines",
+            "offered",
+            "goodput_rps",
+            "success_pct",
+            "p50_ms",
+            "p99_ms",
+            "hedge_rate_pct",
+        ],
+    )
+
+    for severity in severities:
+        for detector in detectors:
+            cluster = _make_cluster(
+                workers, cores, detector, hedge_budget_fraction, seed
+            )
+            injector = WorkerFaultInjector(
+                cluster,
+                # Crash cycles are disabled (astronomical MTTF): this
+                # experiment isolates the gray-failure domain.
+                mttf_seconds=1e9,
+                mttr_seconds=1.0,
+                seed=seed + 41,
+                limp_mttf_seconds=limp_mttf_seconds,
+                limp_duration_seconds=limp_duration_seconds,
+                limp_severity=severity,
+            )
+            offered, completed = _drive(cluster, rps, duration_seconds, seed + 17)
+            gray = cluster.stats()["gray"]
+            result.add_row(
+                severity=severity,
+                detector=detector,
+                limps=injector.limps_injected,
+                quarantines=gray["quarantine_entries"],
+                offered=offered,
+                goodput_rps=completed / duration_seconds,
+                success_pct=100.0 * completed / offered if offered else 100.0,
+                p50_ms=cluster.latencies.median * 1e3,
+                p99_ms=cluster.latencies.p99 * 1e3,
+                hedge_rate_pct=100.0 * gray["hedge_rate"],
+            )
+
+    result.note(
+        "fail-stop detection is blind to limplock: the degraded worker keeps "
+        "its full traffic share, so severity >= the deadline/service ratio "
+        "turns tail latency pain into goodput loss"
+    )
+    result.note(
+        "latency quarantine (policy=gray) sidelines the limping worker after "
+        "its completion-latency EWMA drifts past the fleet's; hedging "
+        "additionally re-issues the slowest in-flight requests "
+        f"(budget {100.0 * hedge_budget_fraction:.0f}% of traffic) and takes "
+        "the first completion"
+    )
+    result.note("deterministic per seed: identical tables for identical seeds")
+    return result

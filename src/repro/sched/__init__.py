@@ -38,6 +38,7 @@ core reallocation      :class:`CoreSnapshot`          :class:`PiCorePolicy`,
 from .cores import CorePolicy, PiCorePolicy, StaticCorePolicy
 from .routing import (
     JSQ,
+    GrayFailureAware,
     LeastOutstanding,
     LocalityAware,
     RandomRouting,
@@ -66,6 +67,7 @@ __all__ = [
     "CorePolicy",
     "CoreSnapshot",
     "FixedHotRatioPolicy",
+    "GrayFailureAware",
     "JSQ",
     "KeepAlivePolicy",
     "KpaScalingPolicy",

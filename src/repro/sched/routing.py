@@ -30,9 +30,12 @@ __all__ = [
     "RandomRouting",
     "JSQ",
     "LocalityAware",
+    "GrayFailureAware",
     "ROUTING_POLICIES",
     "make_routing_policy",
 ]
+
+_INF = float("inf")
 
 
 class RoutingPolicy:
@@ -86,6 +89,10 @@ class RoundRobin(RoutingPolicy):
     rotation for the workers that stayed up.  (The legacy
     implementation took one shared counter modulo the current healthy
     count, so any membership change permanently skewed the rotation.)
+
+    Quarantined workers are skipped the same way dead ones are; when
+    the whole fleet is quarantined the rotation falls back to plain
+    health so traffic still flows.
     """
 
     __slots__ = ("_cursor",)
@@ -100,6 +107,12 @@ class RoundRobin(RoutingPolicy):
         if count <= 0 or not snapshot.healthy:
             return None
         cursor = self._cursor
+        for offset in range(count):
+            index = (cursor + offset) % count
+            if snapshot.is_routable(index):
+                self._cursor = (index + 1) % count
+                return index
+        # Every healthy worker is quarantined: degrade to plain health.
         for offset in range(count):
             index = (cursor + offset) % count
             if snapshot.is_healthy(index):
@@ -119,11 +132,11 @@ class LeastOutstanding(RoutingPolicy):
     def decide(self, snapshot: ClusterSnapshot) -> Optional[int]:
         if not snapshot.healthy:
             return None
-        return _least_outstanding_choice(snapshot, snapshot.healthy)
+        return _least_outstanding_choice(snapshot, snapshot.candidates)
 
 
 class RandomRouting(RoutingPolicy):
-    """Seeded uniform choice over the healthy workers."""
+    """Seeded uniform choice over the routable (non-quarantined) workers."""
 
     __slots__ = ("rng",)
 
@@ -141,7 +154,7 @@ class RandomRouting(RoutingPolicy):
     def decide(self, snapshot: ClusterSnapshot) -> Optional[int]:
         if not snapshot.healthy:
             return None
-        return self.rng.choice(snapshot.healthy)
+        return self.rng.choice(snapshot.candidates)
 
 
 #: Alias matching the paper-facing policy name; ``RandomRouting`` is
@@ -179,13 +192,13 @@ class JSQ(RoutingPolicy):
         return cls(rng)
 
     def decide(self, snapshot: ClusterSnapshot) -> Optional[int]:
-        healthy = snapshot.healthy
-        if not healthy:
+        if not snapshot.healthy:
             return None
-        if self.d >= len(healthy):
-            return _least_outstanding_choice(snapshot, healthy)
-        candidates = self.rng.sample(healthy, self.d)
-        return _least_outstanding_choice(snapshot, candidates)
+        pool = snapshot.candidates
+        if self.d >= len(pool):
+            return _least_outstanding_choice(snapshot, pool)
+        sampled = self.rng.sample(pool, self.d)
+        return _least_outstanding_choice(snapshot, sampled)
 
 
 class LocalityAware(RoutingPolicy):
@@ -226,23 +239,92 @@ class LocalityAware(RoutingPolicy):
         self.spill_margin = spill_margin
 
     def decide(self, snapshot: ClusterSnapshot) -> Optional[int]:
-        healthy = snapshot.healthy
-        if not healthy:
+        if not snapshot.healthy:
             return None
+        pool = snapshot.candidates
         if not snapshot.composition_functions:
-            return _least_outstanding_choice(snapshot, healthy)
+            return _least_outstanding_choice(snapshot, pool)
         warm_count = snapshot.warm_count
         in_flight = snapshot.in_flight
         warmest = min(
-            healthy,
+            pool,
             key=lambda index: (-warm_count(index), in_flight(index), index),
         )
         if warm_count(warmest) == 0:
-            return _least_outstanding_choice(snapshot, healthy)
-        lightest = min(in_flight(index) for index in healthy)
+            return _least_outstanding_choice(snapshot, pool)
+        lightest = min(in_flight(index) for index in pool)
         if in_flight(warmest) - lightest >= self.spill_margin:
-            return _least_outstanding_choice(snapshot, healthy)
+            return _least_outstanding_choice(snapshot, pool)
         return warmest
+
+
+class GrayFailureAware(RoutingPolicy):
+    """Latency-quarantine routing with load-bounded spill-back.
+
+    The fail-stop detectors behind ``snapshot.healthy`` only notice
+    workers that *die*; a limplock worker (degraded disk/NIC, §6.1's
+    gray-failure regime) stays in the healthy ring while serving every
+    request several times slower.  This policy consumes the latency
+    health the cluster manager maintains (EWMA scores + quarantine
+    flags) and routes least-outstanding over the *preferred* ring —
+    healthy and not quarantined.
+
+    Two escape hatches keep a degraded fleet live and recoverable:
+
+    * **All-quarantined fallback** — when every healthy worker is
+      quarantined there is no good choice, only a least-bad one: route
+      by (latency score, in-flight, index), so traffic keeps flowing
+      through the least-degraded worker instead of stalling.
+    * **Load-bounded spill-back** — quarantining shrinks the serving
+      set, and a hot fleet can overload the survivors.  In the spirit
+      of :class:`LocalityAware`'s bounded preference, when the chosen
+      preferred worker already carries ``spill_margin`` more in-flight
+      invocations than the lightest *healthy* worker, the decision
+      spills back to least-outstanding over the full healthy ring.
+      The spill doubles as the recovery probe: quarantined workers keep
+      receiving a trickle of traffic, so their scores keep updating and
+      a recovered worker re-earns its place.
+    """
+
+    __slots__ = ("spill_margin",)
+
+    name = "gray"
+
+    def __init__(self, spill_margin: int = 3):
+        if spill_margin < 1:
+            raise ValueError("spill_margin must be >= 1")
+        self.spill_margin = spill_margin
+
+    @staticmethod
+    def _least_bad(snapshot: ClusterSnapshot, pool) -> int:
+        """Lowest latency score, then load, then index; NaN scores last."""
+        loads = snapshot._in_flight
+        best = None
+        best_key = None
+        for index in pool:
+            score = snapshot.latency_score(index)
+            if score != score:  # NaN: no data, assume worst
+                score = _INF
+            key = (score, loads[index], index)
+            if best is None or key < best_key:
+                best = index
+                best_key = key
+        return best
+
+    def decide(self, snapshot: ClusterSnapshot) -> Optional[int]:
+        healthy = snapshot.healthy
+        if not healthy:
+            return None
+        preferred = snapshot.preferred
+        if not preferred:
+            return self._least_bad(snapshot, healthy)
+        choice = _least_outstanding_choice(snapshot, preferred)
+        if len(preferred) < len(healthy):
+            loads = snapshot._in_flight
+            lightest = min(loads[index] for index in healthy)
+            if loads[choice] - lightest >= self.spill_margin:
+                return _least_outstanding_choice(snapshot, healthy)
+        return choice
 
 
 #: Back-compat name→class registry.  The legacy tuple of policy names
@@ -256,6 +338,7 @@ ROUTING_POLICIES: dict = {
     "random": RandomRouting,
     "jsq": JSQ,
     "locality": LocalityAware,
+    "gray": GrayFailureAware,
 }
 
 

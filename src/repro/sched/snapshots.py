@@ -39,23 +39,37 @@ __all__ = [
 
 _EMPTY_SET: frozenset = frozenset()
 
+_NAN = float("nan")
+
 
 class WorkerSnapshot:
     """Read-only view of one worker at decision time."""
 
-    __slots__ = ("index", "healthy", "in_flight", "warm_functions")
+    __slots__ = (
+        "index",
+        "healthy",
+        "in_flight",
+        "warm_functions",
+        "latency_ewma",
+        "quarantined",
+    )
 
     def __init__(self, index: int, healthy: bool, in_flight: int,
-                 warm_functions: frozenset):
+                 warm_functions: frozenset,
+                 latency_ewma: float = _NAN,
+                 quarantined: bool = False):
         self.index = index
         self.healthy = healthy
         self.in_flight = in_flight
         self.warm_functions = warm_functions
+        self.latency_ewma = latency_ewma
+        self.quarantined = quarantined
 
     def __repr__(self) -> str:
         return (
             f"WorkerSnapshot(index={self.index}, healthy={self.healthy}, "
-            f"in_flight={self.in_flight}, warm={len(self.warm_functions)})"
+            f"in_flight={self.in_flight}, warm={len(self.warm_functions)}, "
+            f"quarantined={self.quarantined})"
         )
 
 
@@ -69,6 +83,14 @@ class ClusterSnapshot:
     scan.  ``worker_count`` is the total fleet size (the stable index
     ring policies rotate over); unhealthy indices stay in the ring so
     a fleet-size change cannot shift a rotation's phase.
+
+    The gray-failure extension adds three optional, equally-shared
+    references: ``preferred`` (healthy AND not latency-quarantined —
+    another incrementally-maintained ring), ``scores`` (per-worker
+    completion-latency EWMAs) and ``quarantined`` (per-worker flags).
+    Deployments without a health tracker leave them at their defaults
+    and every policy behaves exactly as before: ``candidates`` falls
+    back to ``healthy``.
     """
 
     __slots__ = (
@@ -79,6 +101,9 @@ class ClusterSnapshot:
         "_health",
         "_in_flight",
         "_warm_of",
+        "preferred",
+        "_scores",
+        "_quarantined",
     )
 
     def __init__(
@@ -90,6 +115,9 @@ class ClusterSnapshot:
         composition: Optional[str] = None,
         composition_functions: tuple = (),
         warm_of=None,
+        preferred: Optional[tuple] = None,
+        scores=None,
+        quarantined=None,
     ):
         self.healthy = healthy
         self.worker_count = worker_count
@@ -98,9 +126,35 @@ class ClusterSnapshot:
         self._health = health
         self._in_flight = in_flight
         self._warm_of = warm_of
+        self.preferred = healthy if preferred is None else preferred
+        self._scores = scores
+        self._quarantined = quarantined
+
+    @property
+    def candidates(self) -> tuple:
+        """Indices policies should route to: preferred, else the
+        least-bad fallback (every healthy worker) when the whole fleet
+        is quarantined — a degraded fleet must still take traffic."""
+        return self.preferred or self.healthy
 
     def is_healthy(self, index: int) -> bool:
         return self._health[index]
+
+    def is_quarantined(self, index: int) -> bool:
+        """True when latency-based health has sidelined this worker."""
+        if self._quarantined is None:
+            return False
+        return self._quarantined.get(index, False)
+
+    def is_routable(self, index: int) -> bool:
+        """Healthy and not quarantined."""
+        return self._health[index] and not self.is_quarantined(index)
+
+    def latency_score(self, index: int) -> float:
+        """Completion-latency EWMA for the worker (NaN when unknown)."""
+        if self._scores is None:
+            return _NAN
+        return self._scores.get(index, _NAN)
 
     def in_flight(self, index: int) -> int:
         return self._in_flight[index]
@@ -128,6 +182,8 @@ class ClusterSnapshot:
             self.is_healthy(index),
             self.in_flight(index),
             frozenset(self.warm_functions(index)),
+            self.latency_score(index),
+            self.is_quarantined(index),
         )
 
     def __repr__(self) -> str:

@@ -19,12 +19,16 @@ __all__ = ["LatencyRecorder", "TimeSeries", "Counter", "percentile", "relative_v
 def percentile(sorted_samples: list[float], q: float) -> float:
     """Return the ``q``-th percentile (0..100) by linear interpolation.
 
-    ``sorted_samples`` must be sorted ascending and non-empty.
+    ``sorted_samples`` must be sorted ascending.  An empty sample set
+    has no order statistics: the result is ``nan`` (which
+    :func:`~repro.experiments.common.fmt` renders as ``-``), so an
+    experiment arm that produced no completions reports an honest blank
+    instead of crashing the whole run at the reporting step.
     """
-    if not sorted_samples:
-        raise ValueError("no samples")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile {q} out of range")
+    if not sorted_samples:
+        return float("nan")
     if len(sorted_samples) == 1:
         return sorted_samples[0]
     rank = (q / 100.0) * (len(sorted_samples) - 1)
@@ -81,19 +85,19 @@ class LatencyRecorder:
     @property
     def mean(self) -> float:
         if not self._sorted:
-            raise ValueError("no samples")
+            return float("nan")
         return self._sum / len(self._sorted)
 
     @property
     def minimum(self) -> float:
         if not self._sorted:
-            raise ValueError("no samples")
+            return float("nan")
         return self._sorted[0]
 
     @property
     def maximum(self) -> float:
         if not self._sorted:
-            raise ValueError("no samples")
+            return float("nan")
         return self._sorted[-1]
 
     def percentile(self, q: float) -> float:
@@ -111,9 +115,24 @@ class LatencyRecorder:
         return relative_variance(self._sorted)
 
     def summary(self) -> dict:
-        """All headline statistics as a plain dict (for report rows)."""
+        """All headline statistics as a plain dict (for report rows).
+
+        An empty recorder reports ``count: 0`` and ``nan`` for every
+        statistic — same keys either way, so report code never has to
+        special-case the no-completions arm.
+        """
         if not self._sorted:
-            return {"name": self.name, "count": 0}
+            nan = float("nan")
+            return {
+                "name": self.name,
+                "count": 0,
+                "mean": nan,
+                "min": nan,
+                "p50": nan,
+                "p95": nan,
+                "p99": nan,
+                "max": nan,
+            }
         return {
             "name": self.name,
             "count": self.count,

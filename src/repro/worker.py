@@ -30,6 +30,7 @@ from .dispatcher.memory import MemoryTracker
 from .engines.comm_engine import CommunicationEngine
 from .engines.compute_engine import ComputeEngine
 from .engines.group import EngineGroup
+from .engines.throttle import EngineThrottle
 from .frontend.http_frontend import Frontend
 from .net.network import LatencyModel, SimulatedNetwork
 from .sim.core import Environment
@@ -84,6 +85,10 @@ class WorkerNode:
         self.backend: IsolationBackend = create_backend(config.backend, config.machine)
         self._rng = Rng(config.seed)
 
+        # One throttle shared by every engine on this node: the gray-
+        # failure (limplock) knob.  Healthy nodes sit at 1.0, which is
+        # an exact multiplicative no-op on every service time.
+        self.throttle = EngineThrottle()
         failure_rng = self._rng.fork(1) if config.transient_failure_rate > 0 else None
         self.compute_group = EngineGroup(
             self.env,
@@ -95,6 +100,7 @@ class WorkerNode:
                 name=name,
                 failure_rng=failure_rng,
                 transient_failure_rate=config.transient_failure_rate,
+                throttle=self.throttle,
             ),
             initial_count=config.total_cores - config.initial_comm_cores,
         )
@@ -108,6 +114,7 @@ class WorkerNode:
                 name=name,
                 failure_rng=self._rng.fork(3) if config.comm_failure_rate > 0 else None,
                 transient_failure_rate=config.comm_failure_rate,
+                throttle=self.throttle,
             ),
             initial_count=config.initial_comm_cores,
         )
@@ -137,6 +144,20 @@ class WorkerNode:
         )
 
     # -- convenience -------------------------------------------------------
+
+    def set_limp(self, multiplier: float) -> None:
+        """Degrade (or restore) this node's engine throughput.
+
+        ``multiplier`` >= 1.0 stretches every compute service time and
+        network exchange by that factor — the "limplock" fault model:
+        the node stays up and keeps answering, just slower.  1.0
+        restores nominal speed.
+        """
+        self.throttle.set(multiplier)
+
+    @property
+    def limp_multiplier(self) -> float:
+        return self.throttle.multiplier
 
     @property
     def total_engine_cores(self) -> int:

@@ -202,3 +202,100 @@ def test_injector_validation():
         WorkerFaultInjector(cluster, mttf_seconds=0.0, mttr_seconds=1.0)
     with pytest.raises(ValueError):
         WorkerFaultInjector(cluster, mttf_seconds=1.0, mttr_seconds=-1.0)
+    with pytest.raises(ValueError):
+        # Limp cycles enabled without a duration.
+        WorkerFaultInjector(
+            cluster, mttf_seconds=1.0, mttr_seconds=1.0,
+            limp_mttf_seconds=1.0, limp_severity=4.0,
+        )
+    with pytest.raises(ValueError):
+        WorkerFaultInjector(
+            cluster, mttf_seconds=1.0, mttr_seconds=1.0,
+            limp_mttf_seconds=1.0, limp_duration_seconds=1.0,
+            limp_severity=0.5,
+        )
+
+
+def test_injector_skips_restore_when_worker_restored_externally():
+    # Regression: the injector used to call restore_worker unconditionally
+    # after its MTTR sleep.  If an external actor (a test, an operator
+    # script) restored the worker mid-sleep, that second restore raised
+    # ValueError inside the injector process and killed the lifecycle
+    # loop.  The injector must re-check health and skip (counted).
+    cluster = make_cluster(workers=2)
+    injector = WorkerFaultInjector(
+        cluster, mttf_seconds=0.01, mttr_seconds=0.05, seed=3
+    )
+    env = cluster.env
+
+    def external_operator():
+        # Eagerly repair any downed worker long before the injector's
+        # MTTR sleep (50 ms mean) elapses.
+        while env.now < 0.4:
+            yield env.timeout(1e-3)
+            for index in range(cluster.worker_count):
+                if not cluster.is_healthy(index):
+                    cluster.restore_worker(index)
+
+    env.process(external_operator())
+    offered, completed = _drive(cluster, count=100, rps=250.0)
+    assert injector.restores_skipped > 0  # the race actually happened
+    # The lifecycle loops survived the race: later cycles kept firing
+    # instead of dying on the ValueError the old code raised.
+    assert injector.crashes_injected >= 2
+    assert completed > 0
+
+
+def test_limp_cycles_fire_and_clear():
+    cluster = make_cluster(workers=2)
+    injector = WorkerFaultInjector(
+        cluster,
+        mttf_seconds=1e9,  # crashes effectively disabled
+        mttr_seconds=1.0,
+        seed=5,
+        limp_mttf_seconds=0.02,
+        limp_duration_seconds=0.01,
+        limp_severity=4.0,
+    )
+    offered, completed = _drive(cluster, count=100, rps=250.0)
+    assert injector.crashes_injected == 0
+    assert injector.limps_injected > 0
+    assert injector.limps_cleared > 0
+    assert completed > 0
+    # Slow-but-alive: a limp never removes the worker from the ring.
+    assert cluster.healthy_worker_count == 2
+
+
+def test_limp_streams_leave_crash_schedule_untouched():
+    # Limp RNG streams fork at a disjoint salt range, so enabling limp
+    # cycles must not perturb an existing experiment's crash schedule.
+    # Compared over a fixed virtual-time horizon (driving traffic would
+    # finish later under limp and admit extra cycles).
+    def crash_trace(with_limp):
+        cluster = make_cluster(workers=3)
+        kwargs = dict(mttf_seconds=0.02, mttr_seconds=0.01, seed=5)
+        if with_limp:
+            kwargs.update(
+                limp_mttf_seconds=0.03,
+                limp_duration_seconds=0.01,
+                limp_severity=4.0,
+            )
+        injector = WorkerFaultInjector(cluster, **kwargs)
+        cluster.env.run(until=0.5)
+        return injector.crashes_injected, injector.restores_performed
+
+    baseline = crash_trace(with_limp=False)
+    assert baseline[0] > 0
+    assert baseline == crash_trace(with_limp=True)
+
+
+def test_limp_severity_one_creates_no_limp_processes():
+    cluster = make_cluster(workers=2)
+    injector = WorkerFaultInjector(
+        cluster, mttf_seconds=1e9, mttr_seconds=1.0,
+        limp_mttf_seconds=0.01, limp_duration_seconds=0.01,
+        limp_severity=1.0,
+    )
+    _drive(cluster, count=30)
+    assert injector.limps_injected == 0
+    assert len(injector._processes) == cluster.worker_count

@@ -102,6 +102,47 @@ def test_transient_faults_eventually_succeed_and_count_retries():
     assert worker.dispatcher.retries_performed > 0
 
 
+def test_backoff_never_sleeps_past_the_deadline():
+    # Regression: each backoff sleep used to be taken unconditionally,
+    # so a transient-fault retry chain could keep sleeping long after
+    # the invocation's deadline — the caller had already been promised a
+    # DeadlineExceeded but the dispatcher burned virtual time (and
+    # retries) on a corpse.  Every inter-attempt gap must now fit inside
+    # the remaining deadline budget, and the chain must surface
+    # DeadlineExceeded the moment the next backoff alone would overrun.
+    deadline = 0.004
+    worker = make_worker(
+        transient_failure_rate=1.0, max_retries=20, default_timeout=deadline
+    )
+    prepare(worker)
+    times = spy_on_submissions(worker)
+    started = worker.env.now
+    result = worker.invoke_and_run("bk_single", {"text": b"x"})
+    assert not result.ok
+    assert "deadline" in str(result.error)
+    # Every attempt was submitted inside the deadline window: the chain
+    # stopped instead of sleeping past it.
+    assert times, "at least the initial attempt must submit"
+    assert all(t - started <= deadline for t in times), times
+    # The retry budget was NOT exhausted — the deadline cut the chain.
+    assert worker.dispatcher.retries_performed < 20
+    assert worker.dispatcher.deadline_expirations >= 1
+    # And the dispatcher gave up no later than the deadline itself.
+    assert worker.env.now - started <= deadline + 1e-9
+
+
+def test_deadline_cut_releases_memory_context():
+    # The early DeadlineExceeded return path must release the node's
+    # memory context like every other exit path does.
+    worker = make_worker(
+        transient_failure_rate=1.0, max_retries=20, default_timeout=0.004
+    )
+    prepare(worker)
+    worker.invoke_and_run("bk_single", {"text": b"x"})
+    assert worker.memory.current_bytes == 0
+    assert worker.memory.live_context_count == 0
+
+
 def _register_slow_fetch(worker, host="slowecho"):
     from repro.functions import (
         format_http_request,

@@ -195,6 +195,7 @@ def test_registry_maps_names_to_classes():
         "random",
         "jsq",
         "locality",
+        "gray",
     }
     for name, cls in ROUTING_POLICIES.items():
         assert issubclass(cls, RoutingPolicy)
