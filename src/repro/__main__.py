@@ -8,16 +8,19 @@ Usage::
     python -m repro run fig9 --scale-factor 0.02
     python -m repro run fig7 --profile
     python -m repro bench [--full] [--output BENCH_sim_kernel.json]
-    python -m repro lint [--self | --compositions | --functions]
-                         [paths ...] [--format json] [--strict]
+    python -m repro lint [--self | --compositions | --functions | --dataflow]
+                         [--only PASS ...] [paths ...]
+                         [--format json|sarif] [--strict] [--no-cache]
 
 Each experiment prints the same rows/series the paper reports (see
 EXPERIMENTS.md for the paper-vs-measured comparison).  ``bench`` times
 the simulation kernel's hot paths and records them in a JSON file so
 perf regressions are visible across PRs (see docs/simulation.md).
 ``lint`` runs the static-analysis passes — purity verification of
-registered compute functions, composition linting, and the determinism
-self-lint over ``src/repro`` itself (see docs/static_analysis.md).
+registered compute functions, composition linting, whole-composition
+dataflow analysis (RACE/CON/COST), and the determinism self-lint over
+``src/repro`` itself (see docs/static_analysis.md).  Re-lints replay
+unchanged results from ``.repro_lint_cache.json``.
 """
 
 from __future__ import annotations
@@ -187,15 +190,27 @@ def main(argv=None) -> int:
         help="composition linting of registered graphs and DSL blocks in paths",
     )
     lint_parser.add_argument(
-        "paths", nargs="*",
-        help="files scanned for embedded composition blocks (with --compositions)",
+        "--dataflow", dest="lint_dataflow", action="store_true",
+        help="whole-composition dataflow analysis (RACE/CON/COST codes)",
     )
     lint_parser.add_argument(
-        "--format", dest="output_format", choices=("text", "json"), default="text",
+        "--only", dest="lint_only", nargs="+", default=None, metavar="PASS",
+        choices=("self", "functions", "compositions", "dataflow"),
+        help="run exactly the named passes (overrides the scope flags)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*",
+        help="files scanned for embedded composition blocks "
+             "(with --compositions/--dataflow)",
+    )
+    lint_parser.add_argument(
+        "--format", dest="output_format",
+        choices=("text", "json", "sarif"), default="text",
     )
     lint_parser.add_argument(
         "--strict", action="store_true",
-        help="fail on any non-baselined finding (CI mode); default fails on errors",
+        help="fail on any non-baselined finding or stale baseline entry "
+             "(CI mode); default fails on errors",
     )
     lint_parser.add_argument(
         "--baseline", default=None,
@@ -203,24 +218,50 @@ def main(argv=None) -> int:
     )
     lint_parser.add_argument(
         "--write-baseline", action="store_true",
-        help="regenerate the baseline from the current findings and exit",
+        help="regenerate the baseline from the current findings and exit "
+             "(prunes stale entries for the passes that ran)",
+    )
+    lint_parser.add_argument(
+        "--cache", dest="cache_path", default=".repro_lint_cache.json",
+        metavar="PATH",
+        help="incremental analysis cache file (default .repro_lint_cache.json)",
+    )
+    lint_parser.add_argument(
+        "--no-cache", dest="no_cache", action="store_true",
+        help="disable the incremental analysis cache",
     )
     args = parser.parse_args(argv)
 
     if args.command == "lint":
         from .analysis.runner import run_lint
 
-        # With no scope flags, run every pass.
-        any_scope = args.lint_self or args.lint_functions or args.lint_compositions
+        if args.lint_only is not None:
+            selected = set(args.lint_only)
+            run_self = "self" in selected
+            run_functions = "functions" in selected
+            run_compositions = "compositions" in selected
+            run_dataflow = "dataflow" in selected
+        else:
+            # With no scope flags, run every pass.
+            any_scope = (
+                args.lint_self or args.lint_functions
+                or args.lint_compositions or args.lint_dataflow
+            )
+            run_self = args.lint_self or not any_scope
+            run_functions = args.lint_functions or not any_scope
+            run_compositions = args.lint_compositions or not any_scope
+            run_dataflow = args.lint_dataflow or not any_scope
         code, report = run_lint(
-            lint_self_pass=args.lint_self or not any_scope,
-            lint_functions=args.lint_functions or not any_scope,
-            lint_compositions=args.lint_compositions or not any_scope,
+            lint_self_pass=run_self,
+            lint_functions=run_functions,
+            lint_compositions=run_compositions,
+            lint_dataflow=run_dataflow,
             paths=args.paths,
             output_format=args.output_format,
             strict=args.strict,
             baseline_path=args.baseline,
             write_baseline=args.write_baseline,
+            cache_path=None if args.no_cache else args.cache_path,
         )
         print(report)
         return code

@@ -1,0 +1,141 @@
+"""Incremental analysis cache keyed by content fingerprints.
+
+Re-linting an unchanged repo should be near-instant: the passes are
+pure functions of their inputs (file text, function source, canonical
+composition DSL), so their diagnostics can be replayed from a cache
+keyed by a sha256 fingerprint of those inputs.  Each pass salts its
+fingerprints with a *pass version* — bumping the version constant when
+a pass's rules change invalidates exactly that pass's entries.
+
+The cache file is JSON (``.repro_lint_cache.json`` by default,
+gitignored); a corrupt, missing, or wrong-schema file degrades to an
+empty cache rather than failing the lint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from .diagnostics import Diagnostic
+
+__all__ = ["AnalysisCache", "fingerprint_text", "DEFAULT_CACHE_PATH"]
+
+DEFAULT_CACHE_PATH = ".repro_lint_cache.json"
+
+_SCHEMA = "repro-lint-cache/v1"
+
+# Bump these when a pass's rules change: stale cached diagnostics from
+# an older rule set must not be replayed.
+PASS_VERSIONS = {
+    "self": "det-v2",        # DET000-006
+    "functions": "pur-v2",   # PUR codes + read/write/item summaries
+    "compositions": "cmp-v2",  # CMP codes + relined CMP000
+    "dataflow": "flow-v1",   # RACE/CON/COST
+}
+
+
+def fingerprint_text(*parts: str) -> str:
+    """sha256 over the concatenated parts (null-separated)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8", "surrogatepass"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """Fingerprint-keyed replay store for pass diagnostics.
+
+    Entries map ``"<pass>::<key>"`` to ``{"fingerprint", "diagnostics"}``.
+    :meth:`get` returns the replayed diagnostics only when the stored
+    fingerprint matches the current one; :meth:`put` overwrites the
+    entry.  ``hits``/``misses`` feed the bench harness.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return  # unreadable/corrupt: start empty
+        if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = {
+                str(key): value
+                for key, value in entries.items()
+                if isinstance(value, dict)
+            }
+
+    @staticmethod
+    def _slot(pass_name: str, key: str) -> str:
+        return f"{pass_name}::{key}"
+
+    @staticmethod
+    def pass_fingerprint(pass_name: str, *parts: str) -> str:
+        """Content fingerprint salted with the pass's rule version."""
+        return fingerprint_text(PASS_VERSIONS.get(pass_name, pass_name), *parts)
+
+    def get(
+        self, pass_name: str, key: str, fingerprint: str
+    ) -> Optional[list[Diagnostic]]:
+        entry = self._entries.get(self._slot(pass_name, key))
+        if entry is None or entry.get("fingerprint") != fingerprint:
+            self.misses += 1
+            return None
+        rows = entry.get("diagnostics")
+        if not isinstance(rows, list):
+            self.misses += 1
+            return None
+        try:
+            diagnostics = [Diagnostic.from_dict(row) for row in rows]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return diagnostics
+
+    def put(
+        self,
+        pass_name: str,
+        key: str,
+        fingerprint: str,
+        diagnostics: list[Diagnostic],
+    ) -> None:
+        self._entries[self._slot(pass_name, key)] = {
+            "fingerprint": fingerprint,
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        }
+        self._dirty = True
+
+    def save(self, path: Optional[str] = None) -> None:
+        """Write the cache file (atomically via rename)."""
+        target = path or self.path
+        if target is None:
+            return
+        payload = {
+            "schema": _SCHEMA,
+            "entries": dict(sorted(self._entries.items())),
+        }
+        tmp = f"{target}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=False)
+            handle.write("\n")
+        os.replace(tmp, target)
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._entries)

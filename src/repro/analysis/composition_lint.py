@@ -72,9 +72,18 @@ def lint_dsl_source(
         composition = parse_composition(source, library=library or {})
     except CompositionError as exc:
         line = getattr(exc, "line", None)
+        message = str(exc)
+        if line is not None and line_offset:
+            # DslError embeds its block-relative line in the message
+            # ("line 3: ..."); re-line that prefix against the
+            # embedding file too, not just the structured field.
+            relined = line + line_offset
+            message = re.sub(
+                rf"^line {line}:", f"line {relined}:", message, count=1
+            )
         return None, [
             Diagnostic(
-                "CMP000", ERROR, str(exc),
+                "CMP000", ERROR, message,
                 file=file,
                 line=(line + line_offset) if line is not None else None,
                 symbol=None,

@@ -1,0 +1,665 @@
+"""Whole-composition dataflow analysis (RACE / CON / COST codes).
+
+The per-function purity pass and the per-node composition linter stop
+at vertex boundaries.  This pass is the interprocedural step Dandelion's
+programming model makes possible (§4.1): because every function's data
+interface is declared and the DAG is explicit, *cross-node* properties
+— races, contract mismatches, and a static cost envelope — are
+decidable before anything runs.  It consumes the purity verifier's
+read/write/item summaries (:class:`~repro.analysis.purity_check.
+PurityReport`) plus the composition graph and emits three diagnostic
+families:
+
+**RACE** — hazards between vertices the DAG does not order:
+
+- ``RACE001`` write-write: two DAG-unordered nodes both write the same
+  set outside their declared interfaces (undeclared writes land in the
+  shared composition namespace, so the platform cannot order them);
+- ``RACE002`` read-after-write not ordered by edges: a node reads an
+  undeclared set that only DAG-unordered nodes produce — which write
+  the read observes depends on scheduling;
+- ``RACE003`` fan-out collision: an ``each``/``key``-instanced node
+  writes a *constant* item name into a consumed output set, so every
+  instance emits the same item and the merge must rename to disambiguate
+  (downstream readers keyed on the item name silently break);
+- ``RACE004`` alias double-write: a node's function writes a set name
+  that is also one of its declared input sets — the platform already
+  delivered (and renamed) a set under that name, so the context sees
+  two writers for one name.
+
+**CON** — producer/consumer contract checks:
+
+- ``CON001`` a function reads a set no vertex on any path produces
+  (the read is always empty);
+- ``CON002`` a consumed set resolves — through nested-composition
+  output bindings, i.e. through ``DataSet.renamed`` aliases — to a
+  function that provably never writes it (the aliased flavour of the
+  linter's CMP005, which only sees direct edges);
+- ``CON003`` item-cardinality mismatch across an ``each`` boundary:
+  mixing ``each`` and ``key`` edges on one node (the expander rejects
+  it at run time), or two ``each`` edges whose static cardinalities
+  provably differ (the expander's zip would raise mid-invocation).
+
+**COST** — a static cost envelope, also exported as
+:class:`CompositionCostSummary` for the dispatcher admission path and
+``repro.sched`` policies:
+
+- ``COST001`` the composition declares a deadline its static critical
+  path cannot meet even with unbounded parallelism;
+- ``COST002`` the peak in-flight bytes estimate exceeds the supplied
+  memory capacity;
+- ``COST003`` a deadline is declared but fan-out cardinality is
+  statically unbounded, so width/bytes are lower bounds only.
+
+Every check stays silent rather than guessing whenever a summary is
+incomplete (``None``), mirroring CMP005's discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..composition.graph import Composition, Distribution
+from .diagnostics import Diagnostic, ERROR, WARNING
+from .purity_check import PurityReport, verify_purity
+
+__all__ = [
+    "CompositionCostSummary",
+    "DataflowReport",
+    "analyze_composition",
+    "cost_summary",
+    "DEFAULT_NODE_SECONDS",
+    "COMM_NODE_SECONDS",
+    "DEFAULT_SET_BYTES",
+]
+
+# Cost-model defaults: per-instance seconds for a compute node with no
+# declared compute_cost, for a communication round-trip, and the
+# assumed bytes of a set with no size hint.  Deliberately coarse — the
+# COST family compares *declared* costs against *declared* deadlines;
+# defaults only keep undeclared nodes from zeroing the critical path.
+DEFAULT_NODE_SECONDS = 0.001
+COMM_NODE_SECONDS = 0.002
+DEFAULT_SET_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class CompositionCostSummary:
+    """Static cost envelope of one composition.
+
+    Consumed by ``Dispatcher`` static admission (reject invocations
+    whose deadline is statically unreachable before scheduling them)
+    and by ``repro.sched`` policies (see
+    :mod:`repro.sched.hints`).  All figures are *lower bounds* when
+    ``statically_bounded`` is False.
+    """
+
+    composition: str
+    node_count: int
+    edge_count: int
+    critical_path_depth: int          # nodes on the longest path
+    critical_path_seconds: float      # with unbounded parallelism
+    total_compute_seconds: float      # serialized work, all instances
+    max_parallel_width: int           # widest schedulable antichain level
+    peak_inflight_bytes: int          # widest level's memory contexts
+    statically_bounded: bool          # False: some fan-out unknown
+    deadline_seconds: Optional[float] = None
+    deadline_feasible: Optional[bool] = None   # None: no deadline declared
+    functions: tuple = ()
+
+
+@dataclass
+class DataflowReport:
+    """Outcome of analyzing one composition."""
+
+    composition: str
+    diagnostics: list = field(default_factory=list)
+    summary: Optional[CompositionCostSummary] = None
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.severity == ERROR for d in self.diagnostics)
+
+
+class _NodeFacts:
+    """Per-node slice of the interprocedural state."""
+
+    __slots__ = (
+        "node",
+        "declared_in",
+        "declared_out",
+        "report",
+        "undeclared_writes",
+        "undeclared_reads",
+        "alias_writes",
+        "fanned_out",
+        "multiplicity",
+        "seconds",
+        "bytes_estimate",
+        "level",
+    )
+
+    def __init__(self, node):
+        self.node = node
+        self.declared_in = frozenset(node.input_sets)
+        self.declared_out = frozenset(node.output_sets)
+        self.report: Optional[PurityReport] = None
+        self.undeclared_writes: frozenset = frozenset()
+        self.undeclared_reads: frozenset = frozenset()
+        self.alias_writes: frozenset = frozenset()
+        self.fanned_out = False          # target of an each/key edge
+        self.multiplicity: Optional[int] = 1   # None: statically unbounded
+        self.seconds = DEFAULT_NODE_SECONDS
+        self.bytes_estimate = 0
+        self.level = 0
+
+
+def _function_report(registry, cache: dict, function_name: str) -> Optional[PurityReport]:
+    if registry is None or not registry.has_function(function_name):
+        return None
+    report = cache.get(function_name)
+    if report is None:
+        report = verify_purity(registry.function(function_name))
+        cache[function_name] = report
+    return report
+
+
+def _reachability(composition: Composition) -> dict:
+    """node -> frozenset of nodes reachable from it (excluding itself)."""
+    successors: dict[str, list[str]] = {name: [] for name in composition.nodes}
+    for edge in composition.edges:
+        successors[edge.source].append(edge.target)
+    reach: dict[str, set] = {}
+    for name in reversed(composition.topological_order):
+        seen: set = set()
+        for succ in successors[name]:
+            seen.add(succ)
+            seen |= reach[succ]
+        reach[name] = seen
+    return reach
+
+
+def _resolve_producer(composition: Composition, node_name: str, set_name: str):
+    """Follow nested output bindings to the producing compute function.
+
+    Returns ``(function_name, inner_set_name, crossed_boundary)`` or
+    ``None`` when the chain ends at a communication vertex or a broken
+    binding.  Each nesting hop is a ``DataSet.renamed`` alias at run
+    time — exactly the renames that used to hide never-written findings.
+    """
+    node = composition.nodes.get(node_name)
+    crossed = False
+    hops = 0
+    while node is not None and node.kind == "composition" and hops < 32:
+        nested = node.composition
+        binding = next(
+            (b for b in nested.outputs if b.external == set_name), None
+        )
+        if binding is None:
+            return None
+        node = nested.nodes.get(binding.node)
+        set_name = binding.node_set
+        crossed = True
+        hops += 1
+    if node is not None and node.kind == "compute":
+        return node.function, set_name, crossed
+    return None
+
+
+def _consumed_sets(composition: Composition) -> list:
+    """Deterministic list of ``(node, set)`` pairs something consumes."""
+    consumed = {(edge.source, edge.source_set) for edge in composition.edges}
+    consumed |= {(b.node, b.node_set) for b in composition.outputs}
+    return sorted(consumed)
+
+
+# -- RACE / CON checks -------------------------------------------------------
+
+
+def _check_unordered_writes(facts, reach, diagnostics, composition, file):
+    names = sorted(facts)
+    for i, left in enumerate(names):
+        lf = facts[left]
+        if not lf.undeclared_writes:
+            continue
+        for right in names[i + 1:]:
+            rf = facts[right]
+            if right in reach[left] or left in reach[right]:
+                continue  # DAG-ordered: the platform serializes them
+            shared = lf.undeclared_writes & rf.undeclared_writes
+            for set_name in sorted(shared):
+                diagnostics.append(
+                    Diagnostic(
+                        "RACE001", ERROR,
+                        f"unordered nodes {left!r} and {right!r} both write "
+                        f"set {set_name!r} outside their declared interfaces",
+                        file=file, symbol=composition.name,
+                        hint="declare the set in exactly one node's out(...) "
+                             "and wire an edge, or rename one of the writes",
+                    )
+                )
+
+
+def _check_unordered_reads(facts, reach, diagnostics, composition, file):
+    external_inputs = {binding.external for binding in composition.inputs}
+    for reader in sorted(facts):
+        rf = facts[reader]
+        for set_name in sorted(rf.undeclared_reads):
+            if set_name in external_inputs:
+                continue  # present in the context before any node runs
+            # Declared outputs count as producers too: a sneak-read of
+            # a set another node legitimately declares is a race (or a
+            # hidden-but-ordered dependency), not a missing producer.
+            writers = [
+                name
+                for name in sorted(facts)
+                if name != reader
+                and (
+                    set_name in facts[name].undeclared_writes
+                    or set_name in facts[name].declared_out
+                )
+            ]
+            ordered_writers = [
+                name for name in writers if reader in reach[name]
+            ]
+            if ordered_writers:
+                continue  # a producer the DAG runs first: hidden but ordered
+            if writers:
+                diagnostics.append(
+                    Diagnostic(
+                        "RACE002", ERROR,
+                        f"node {reader!r} reads set {set_name!r} which only "
+                        f"DAG-unordered node(s) {', '.join(map(repr, writers))} "
+                        "produce — the read races the write",
+                        file=file, symbol=composition.name,
+                        hint="declare the set on both interfaces and add an "
+                             "edge so the platform orders producer before "
+                             "consumer",
+                    )
+                )
+            else:
+                diagnostics.append(
+                    Diagnostic(
+                        "CON001", ERROR,
+                        f"node {reader!r} reads set {set_name!r} but no vertex "
+                        "on any path produces it — the read is always empty",
+                        file=file, symbol=composition.name,
+                        hint="wire a producer, declare the set as an input, "
+                             "or drop the read",
+                    )
+                )
+
+
+def _check_alias_double_writes(facts, diagnostics, composition, file):
+    for name in sorted(facts):
+        nf = facts[name]
+        for set_name in sorted(nf.alias_writes):
+            diagnostics.append(
+                Diagnostic(
+                    "RACE004", ERROR,
+                    f"node {name!r} writes set {set_name!r}, which is also "
+                    "one of its declared input sets — the delivered "
+                    "(renamed) input and the function's write collide on "
+                    "one name",
+                    file=file, symbol=composition.name,
+                    hint="write to a distinct output set; renames along the "
+                         "incoming edge already claimed this name",
+                )
+            )
+
+
+def _check_fanout_collisions(facts, diagnostics, composition, file):
+    consumed = set(_consumed_sets(composition))
+    for name in sorted(facts):
+        nf = facts[name]
+        if not nf.fanned_out or nf.report is None:
+            continue
+        items = nf.report.written_items
+        if items is None:
+            continue
+        for set_name in sorted(nf.declared_out):
+            if (name, set_name) not in consumed:
+                continue
+            constant_items = items.get(set_name)
+            if not constant_items:
+                continue  # dynamic or absent item names: instances differ
+            shown = ", ".join(sorted(constant_items))
+            diagnostics.append(
+                Diagnostic(
+                    "RACE003", WARNING,
+                    f"fan-out instances of node {name!r} all write constant "
+                    f"item name(s) {shown} into set {set_name!r}; the merge "
+                    "renames colliding items with an instance prefix",
+                    file=file, symbol=composition.name,
+                    hint="derive item names from the instance's input so "
+                         "downstream readers can address them",
+                )
+            )
+
+
+def _check_cardinality(facts, out_card, diagnostics, composition, file):
+    by_target: dict[str, list] = {}
+    for edge in composition.edges:
+        if edge.distribution is not Distribution.ALL:
+            by_target.setdefault(edge.target, []).append(edge)
+    for target in sorted(by_target):
+        edges = by_target[target]
+        kinds = {edge.distribution for edge in edges}
+        if len(kinds) > 1:
+            diagnostics.append(
+                Diagnostic(
+                    "CON003", ERROR,
+                    f"node {target!r} mixes 'each' and 'key' incoming edges; "
+                    "the instance expander rejects this at run time",
+                    file=file, symbol=composition.name,
+                    hint="use one distribution per node, or split the node",
+                )
+            )
+            continue
+        if Distribution.EACH not in kinds or len(edges) < 2:
+            continue
+        cards = []
+        for edge in edges:
+            card = out_card.get((edge.source, edge.source_set))
+            if card is not None:
+                cards.append((edge, card))
+        for (first_edge, first), (other_edge, other) in zip(cards, cards[1:]):
+            if first != other:
+                diagnostics.append(
+                    Diagnostic(
+                        "CON003", ERROR,
+                        f"'each' edges into node {target!r} deliver provably "
+                        f"different item counts ({first_edge.source}."
+                        f"{first_edge.source_set}={first} vs "
+                        f"{other_edge.source}.{other_edge.source_set}={other});"
+                        " the zip would fail mid-invocation",
+                        file=file, symbol=composition.name,
+                        hint="'each' edges are zipped by position and must "
+                             "deliver identical item counts",
+                    )
+                )
+
+
+def _check_aliased_never_written(registry, report_cache, diagnostics,
+                                 composition, file):
+    if registry is None:
+        return
+    for node_name, set_name in _consumed_sets(composition):
+        resolved = _resolve_producer(composition, node_name, set_name)
+        if resolved is None:
+            continue
+        function_name, inner_set, crossed = resolved
+        if not crossed:
+            continue  # the direct case is the linter's CMP005
+        report = _function_report(registry, report_cache, function_name)
+        if report is None or report.written_sets is None or not report.analyzed:
+            continue
+        if inner_set not in report.written_sets:
+            diagnostics.append(
+                Diagnostic(
+                    "CON002", ERROR,
+                    f"consumed set {node_name}.{set_name} resolves through "
+                    f"nested-composition aliases to {function_name!r}'s set "
+                    f"{inner_set!r}, which the function provably never writes",
+                    file=file, symbol=composition.name,
+                    hint="the rename chain hides an always-empty set; write "
+                         "the inner set or re-bind the nested output",
+                )
+            )
+
+
+# -- cost model --------------------------------------------------------------
+
+
+def _node_seconds(facts: _NodeFacts, registry, size_hints, input_bytes) -> float:
+    node = facts.node
+    if node.kind == "communication":
+        return COMM_NODE_SECONDS
+    if node.kind == "composition":
+        nested = cost_summary(node.composition, registry, size_hints=size_hints)
+        return max(nested.critical_path_seconds, DEFAULT_NODE_SECONDS)
+    if registry is not None and registry.has_function(node.function):
+        modelled = registry.function(node.function).modelled_compute_seconds(
+            input_bytes
+        )
+        if modelled is not None:
+            return max(float(modelled), 0.0)
+    return DEFAULT_NODE_SECONDS
+
+
+def _node_bytes(facts: _NodeFacts, registry) -> int:
+    node = facts.node
+    if node.kind == "communication":
+        return 0
+    if node.kind == "composition":
+        nested = cost_summary(node.composition, registry)
+        return nested.peak_inflight_bytes
+    if registry is not None and registry.has_function(node.function):
+        return registry.function(node.function).memory_limit
+    return 0
+
+
+def _build_cost(composition, facts, registry, size_hints):
+    """Fill multiplicity/level/seconds on ``facts``; return the summary."""
+    size_hints = size_hints or {}
+    incoming: dict[str, list] = {name: [] for name in composition.nodes}
+    for edge in composition.edges:
+        incoming[edge.target].append(edge)
+    input_names = {
+        (b.node, b.node_set): b.external for b in composition.inputs
+    }
+
+    out_card: dict[tuple, Optional[int]] = {}
+    bounded = True
+    finish: dict[str, float] = {}
+    critical_depth: dict[str, int] = {}
+    total_seconds = 0.0
+
+    for name in composition.topological_order:
+        nf = facts[name]
+        edges = incoming[name]
+        fan_edges = [
+            e for e in edges if e.distribution is not Distribution.ALL
+        ]
+        nf.fanned_out = bool(fan_edges)
+        if fan_edges:
+            multiplicity = None
+            for edge in fan_edges:
+                card = out_card.get((edge.source, edge.source_set))
+                if card is not None:
+                    multiplicity = card
+                    break
+            nf.multiplicity = multiplicity
+            if multiplicity is None:
+                bounded = False
+
+        input_bytes = 0
+        for edge in edges:
+            input_bytes += int(size_hints.get(edge.source_set, DEFAULT_SET_BYTES))
+        for (node_name, node_set), external in sorted(input_names.items()):
+            if node_name == name:
+                input_bytes += int(size_hints.get(external, DEFAULT_SET_BYTES))
+
+        nf.seconds = _node_seconds(nf, registry, size_hints, input_bytes)
+        nf.bytes_estimate = _node_bytes(nf, registry)
+
+        preds = {edge.source for edge in edges}
+        nf.level = (
+            0 if not preds else 1 + max(facts[p].level for p in sorted(preds))
+        )
+        start = max((finish[p] for p in sorted(preds)), default=0.0)
+        finish[name] = start + nf.seconds
+        critical_depth[name] = (
+            1 if not preds else 1 + max(critical_depth[p] for p in sorted(preds))
+        )
+        total_seconds += nf.seconds * (nf.multiplicity or 1)
+
+        # Static cardinality of this node's output sets, for CON003 and
+        # downstream multiplicities: instances x constant items.
+        report = nf.report
+        items = report.written_items if report is not None else None
+        for set_name in nf.node.output_sets:
+            card = None
+            if (
+                nf.node.kind == "compute"
+                and items is not None
+                and nf.multiplicity is not None
+            ):
+                constant = items.get(set_name)
+                if constant:
+                    card = nf.multiplicity * len(constant)
+            out_card[(name, set_name)] = card
+
+    width = 0
+    peak_bytes = 0
+    by_level: dict[int, list] = {}
+    for name in sorted(facts):
+        by_level.setdefault(facts[name].level, []).append(name)
+    for level in sorted(by_level):
+        level_width = sum(facts[n].multiplicity or 1 for n in by_level[level])
+        level_bytes = sum(
+            facts[n].bytes_estimate * (facts[n].multiplicity or 1)
+            for n in by_level[level]
+        )
+        width = max(width, level_width)
+        peak_bytes = max(peak_bytes, level_bytes)
+
+    deadline = composition.deadline_seconds
+    critical_seconds = max(finish.values(), default=0.0)
+    summary = CompositionCostSummary(
+        composition=composition.name,
+        node_count=len(composition.nodes),
+        edge_count=len(composition.edges),
+        critical_path_depth=max(critical_depth.values(), default=0),
+        critical_path_seconds=critical_seconds,
+        total_compute_seconds=total_seconds,
+        max_parallel_width=width,
+        peak_inflight_bytes=peak_bytes,
+        statically_bounded=bounded,
+        deadline_seconds=deadline,
+        deadline_feasible=(
+            None if deadline is None else critical_seconds <= deadline
+        ),
+        functions=tuple(sorted(composition.required_functions())),
+    )
+    return summary, out_card
+
+
+def _check_cost(summary, diagnostics, composition, file, memory_capacity):
+    if summary.deadline_feasible is False:
+        diagnostics.append(
+            Diagnostic(
+                "COST001", ERROR,
+                f"declared deadline {summary.deadline_seconds}s is statically "
+                f"unreachable: the critical path needs "
+                f"{summary.critical_path_seconds:.6g}s even with unbounded "
+                "parallelism",
+                file=file, symbol=composition.name,
+                hint="raise the deadline, cut the chain depth, or lower the "
+                     "declared per-stage compute costs",
+            )
+        )
+    if summary.deadline_seconds is not None and not summary.statically_bounded:
+        diagnostics.append(
+            Diagnostic(
+                "COST003", WARNING,
+                "composition declares a deadline but its each/key fan-out "
+                "cardinality is statically unbounded; the cost envelope is a "
+                "lower bound only",
+                file=file, symbol=composition.name,
+                hint="make producers emit statically-known item names, or "
+                     "accept admission on lower bounds",
+            )
+        )
+    if memory_capacity is not None and summary.peak_inflight_bytes > memory_capacity:
+        diagnostics.append(
+            Diagnostic(
+                "COST002", WARNING,
+                f"peak in-flight bytes estimate {summary.peak_inflight_bytes} "
+                f"exceeds the {memory_capacity}-byte capacity",
+                file=file, symbol=composition.name,
+                hint="shrink declared memory limits or narrow the widest "
+                     "parallel stage",
+            )
+        )
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def analyze_composition(
+    composition: Composition,
+    registry=None,
+    *,
+    file: Optional[str] = None,
+    size_hints: Optional[dict] = None,
+    memory_capacity: Optional[int] = None,
+) -> DataflowReport:
+    """Run the whole-composition dataflow analysis.
+
+    ``registry`` supplies function binaries for the purity summaries;
+    without it only edge-structural checks (CON003 mixing) and the
+    default-cost envelope run.  ``size_hints`` maps set names to byte
+    estimates for the cost model; ``memory_capacity`` arms COST002.
+    """
+    report = DataflowReport(composition=composition.name)
+    diagnostics = report.diagnostics
+    report_cache: dict[str, PurityReport] = {}
+
+    facts: dict[str, _NodeFacts] = {}
+    for name in composition.topological_order:
+        nf = _NodeFacts(composition.nodes[name])
+        if nf.node.kind == "compute":
+            nf.report = _function_report(registry, report_cache, nf.node.function)
+            if nf.report is not None and nf.report.analyzed:
+                writes = nf.report.written_sets
+                reads = nf.report.read_sets
+                if writes is not None:
+                    nf.undeclared_writes = frozenset(
+                        writes - nf.declared_out - nf.declared_in
+                    )
+                    nf.alias_writes = frozenset(writes & nf.declared_in)
+                if reads is not None:
+                    nf.undeclared_reads = frozenset(
+                        reads - nf.declared_in - nf.declared_out
+                    )
+        facts[name] = nf
+
+    summary, out_card = _build_cost(composition, facts, registry, size_hints)
+    report.summary = summary
+
+    reach = _reachability(composition)
+    _check_unordered_writes(facts, reach, diagnostics, composition, file)
+    _check_unordered_reads(facts, reach, diagnostics, composition, file)
+    _check_alias_double_writes(facts, diagnostics, composition, file)
+    _check_fanout_collisions(facts, diagnostics, composition, file)
+    _check_cardinality(facts, out_card, diagnostics, composition, file)
+    _check_aliased_never_written(
+        registry, report_cache, diagnostics, composition, file
+    )
+    _check_cost(summary, diagnostics, composition, file, memory_capacity)
+    return report
+
+
+def cost_summary(
+    composition: Composition,
+    registry=None,
+    *,
+    size_hints: Optional[dict] = None,
+) -> CompositionCostSummary:
+    """Just the static cost envelope (no race/contract diagnostics).
+
+    The dispatcher's admission path and scheduling hints use this —
+    it skips the pairwise race sweep, so it stays cheap enough to run
+    once per registered composition.
+    """
+    facts: dict[str, _NodeFacts] = {}
+    report_cache: dict[str, PurityReport] = {}
+    for name in composition.topological_order:
+        nf = _NodeFacts(composition.nodes[name])
+        if nf.node.kind == "compute":
+            nf.report = _function_report(registry, report_cache, nf.node.function)
+        facts[name] = nf
+    summary, _out_card = _build_cost(composition, facts, registry, size_hints)
+    return summary

@@ -19,7 +19,14 @@ historically broken it:
   straight into event ordering;
 - ``DET004`` a class defining ``__init__`` in a hot-path module
   without ``__slots__`` — PRs 1–2 converted these modules; new classes
-  must not regress the conversion.
+  must not regress the conversion;
+- ``DET005`` environment reads (``os.environ``/``os.getenv``) — config
+  smuggled through the host environment makes runs machine-dependent
+  in a way no seed controls;
+- ``DET006`` a wall-clock function referenced *without being called*
+  (``timer = time.perf_counter``, a ``clock=time.monotonic`` default)
+  — smuggling the clock as a value dodges DET001's call-site check
+  while importing exactly the same nondeterminism.
 
 Findings carry the enclosing function/class as the symbol, so the
 baseline survives unrelated line churn.
@@ -33,7 +40,7 @@ from typing import Optional
 
 from .diagnostics import Diagnostic, WARNING, ERROR
 
-__all__ = ["lint_self", "lint_source", "HOT_PATH_MODULES"]
+__all__ = ["lint_self", "lint_source", "iter_self_sources", "HOT_PATH_MODULES"]
 
 # Wall-clock entry points, per module root.
 _WALLCLOCK_ATTRS = {
@@ -76,11 +83,16 @@ class _SelfLintPass(ast.NodeVisitor):
         self.hot_path = hot_path
         self.diagnostics: list[Diagnostic] = []
         self.scope: list[str] = []
-        # Names bound to the time/datetime/random modules in this file.
+        # Names bound to the time/datetime/random/os modules in this file.
         self.module_aliases: dict[str, str] = {}
-        # Wall-clock/random functions imported by bare name.
+        # Wall-clock/random/environ functions imported by bare name.
         self.bare_wallclock: set[str] = set()
         self.bare_random: set[str] = set()
+        self.bare_environ: set[str] = set()
+        # Node ids of expressions appearing as the callee of a Call:
+        # lets the reference checks distinguish `f()` (DET001's job)
+        # from `x = f` (DET006's).
+        self._called: set[int] = set()
 
     # -- helpers ----------------------------------------------------------
 
@@ -102,7 +114,7 @@ class _SelfLintPass(ast.NodeVisitor):
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             root = alias.name.split(".")[0]
-            if root in ("time", "datetime", "random"):
+            if root in ("time", "datetime", "random", "os"):
                 self.module_aliases[alias.asname or root] = root
         self.generic_visit(node)
 
@@ -116,6 +128,10 @@ class _SelfLintPass(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name != "Random":
                     self.bare_random.add(alias.asname or alias.name)
+        if root == "os":
+            for alias in node.names:
+                if alias.name in ("environ", "getenv"):
+                    self.bare_environ.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     # -- scopes -----------------------------------------------------------
@@ -138,6 +154,7 @@ class _SelfLintPass(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        self._called.add(id(func))
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
             root = self.module_aliases.get(func.value.id)
             if root in _WALLCLOCK_ATTRS and func.attr in _WALLCLOCK_ATTRS[root]:
@@ -202,6 +219,53 @@ class _SelfLintPass(ast.NodeVisitor):
                     node,
                     hint="sort by a stable field (name, sequence number)",
                 )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name):
+            root = self.module_aliases.get(node.value.id)
+            if root == "os" and node.attr in ("environ", "getenv"):
+                self._diag(
+                    "DET005", ERROR,
+                    f"environment read os.{node.attr}: behavior becomes "
+                    "host-dependent",
+                    node,
+                    hint="thread configuration through explicit parameters "
+                         "or CLI flags; no seed controls the environment",
+                )
+            elif (
+                root in _WALLCLOCK_ATTRS
+                and node.attr in _WALLCLOCK_ATTRS[root]
+                and id(node) not in self._called
+            ):
+                self._diag(
+                    "DET006", ERROR,
+                    f"wall-clock function {root}.{node.attr} referenced "
+                    "without a call: the clock is smuggled as a value",
+                    node,
+                    hint="pass a seeded/virtual clock explicitly; aliasing "
+                         "the wall clock dodges the DET001 call-site check",
+                )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if node.id in self.bare_environ:
+                self._diag(
+                    "DET005", ERROR,
+                    f"environment read via {node.id}: behavior becomes "
+                    "host-dependent",
+                    node,
+                    hint="thread configuration through explicit parameters "
+                         "or CLI flags; no seed controls the environment",
+                )
+            elif node.id in self.bare_wallclock and id(node) not in self._called:
+                self._diag(
+                    "DET006", ERROR,
+                    f"wall-clock function {node.id} referenced without a "
+                    "call: the clock is smuggled as a value",
+                    node,
+                )
+        self.generic_visit(node)
 
     def visit_For(self, node: ast.For) -> None:
         self._check_set_iteration(node.iter)
@@ -276,15 +340,15 @@ def lint_source(source: str, file: str, *, hot_path: bool = False) -> list[Diagn
     return visitor.diagnostics
 
 
-def lint_self(root: Optional[str] = None) -> list[Diagnostic]:
-    """Lint every Python file under ``src/repro`` (or ``root``).
+def iter_self_sources(root: Optional[str] = None):
+    """Yield ``(reported_path, source, hot_path)`` per package file.
 
-    File paths in diagnostics are package-relative (``src/repro/...``)
-    so baselines are stable across checkouts and working directories.
+    File paths are package-relative (``src/repro/...``) so baselines —
+    and the incremental cache keyed off them — are stable across
+    checkouts and working directories.
     """
     if root is None:
         root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    diagnostics: list[Diagnostic] = []
     for dirpath, dirnames, filenames in os.walk(root):
         dirnames.sort()
         dirnames[:] = [d for d in dirnames if d != "__pycache__"]
@@ -296,7 +360,12 @@ def lint_self(root: Optional[str] = None) -> list[Diagnostic]:
             reported = f"src/repro/{relative}"
             with open(path, "r", encoding="utf-8") as handle:
                 source = handle.read()
-            diagnostics.extend(
-                lint_source(source, reported, hot_path=relative in HOT_PATH_MODULES)
-            )
+            yield reported, source, relative in HOT_PATH_MODULES
+
+
+def lint_self(root: Optional[str] = None) -> list[Diagnostic]:
+    """Lint every Python file under ``src/repro`` (or ``root``)."""
+    diagnostics: list[Diagnostic] = []
+    for reported, source, hot_path in iter_self_sources(root):
+        diagnostics.extend(lint_source(source, reported, hot_path=hot_path))
     return diagnostics

@@ -66,6 +66,30 @@ class Diagnostic:
             where += f" ({self.symbol})"
         return where
 
+    def to_dict(self) -> dict:
+        """Stable-key mapping (cache entries, JSON report rows)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "symbol": self.symbol,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Diagnostic":
+        return cls(
+            code=str(payload["code"]),
+            severity=str(payload["severity"]),
+            message=str(payload["message"]),
+            file=payload.get("file"),
+            line=payload.get("line"),
+            symbol=payload.get("symbol"),
+            hint=payload.get("hint"),
+        )
+
 
 def sort_key(diagnostic: Diagnostic):
     """Deterministic report order: file, line, code — errors first on ties."""
@@ -100,16 +124,7 @@ def render_json(diagnostics: Iterable[Diagnostic]) -> str:
         "errors": sum(1 for d in ordered if d.severity == ERROR),
         "warnings": sum(1 for d in ordered if d.severity == WARNING),
         "diagnostics": [
-            {
-                "code": d.code,
-                "severity": d.severity,
-                "message": d.message,
-                "file": d.file,
-                "line": d.line,
-                "symbol": d.symbol,
-                "hint": d.hint,
-            }
-            for d in ordered
+            dict(d.to_dict(), fingerprint=d.fingerprint) for d in ordered
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
@@ -181,3 +196,29 @@ class Baseline:
             else:
                 new.append(diag)
         return new, suppressed
+
+    def stale_fingerprints(
+        self,
+        diagnostics: Iterable[Diagnostic],
+        *,
+        code_prefixes: Optional[tuple[str, ...]] = None,
+    ) -> list[str]:
+        """Baseline entries matching *no* current finding at all.
+
+        A stale entry is dead weight that silently re-admits a finding
+        the moment someone reintroduces it, so strict mode treats
+        staleness as a failure (see the runner).  ``code_prefixes``
+        restricts the sweep to fingerprints whose code belongs to the
+        passes that actually ran — a scoped ``lint --self`` must not
+        declare the purity pass's suppressions stale.
+        """
+        observed = {diag.fingerprint for diag in diagnostics}
+        stale = []
+        for fingerprint in sorted(self.suppressions):
+            if code_prefixes is not None:
+                code = fingerprint.split("::", 1)[0]
+                if not code.startswith(code_prefixes):
+                    continue
+            if fingerprint not in observed:
+                stale.append(fingerprint)
+        return stale

@@ -82,6 +82,8 @@ _DYNAMIC_EXEC_BUILTINS = frozenset({"exec", "eval", "__import__", "compile"})
 
 # SDK helpers that write outputs; second positional argument is the set.
 _SDK_WRITERS = frozenset({"write_item"})
+# SDK helpers that read an input set; second positional argument is the set.
+_SDK_READERS = frozenset({"read_items", "read_all_bytes"})
 # SDK helpers known not to write (safe to hand the vfs to).
 _SDK_SAFE = frozenset({"read_items", "read_all_bytes", "parse_http_response_item",
                        "parse_http_request_item", "format_http_request"})
@@ -101,6 +103,14 @@ class PurityReport:
     # analysis saw a write it could not resolve (dynamic path, vfs
     # escaping into un-analyzed code), i.e. the summary is not trusted.
     written_sets: Optional[frozenset[str]] = frozenset()
+    # Input-set names the function provably reads (vfs reads under
+    # ``/in/<set>/...``, ``listdir``, and the SDK read helpers); the
+    # same ``None``-on-doubt discipline as ``written_sets``.
+    read_sets: Optional[frozenset[str]] = frozenset()
+    # Per written set: the constant item names written into it, or
+    # ``None`` when any item name in that set is dynamic.  The whole
+    # mapping is ``None`` when the write summary itself is untrusted.
+    written_items: Optional[dict] = field(default_factory=dict)
     analyzed: bool = True
 
     @property
@@ -110,6 +120,29 @@ class PurityReport:
     @property
     def errors(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity == ERROR]
+
+    def distrust_summaries(self) -> None:
+        """Discard every dataflow summary (never guess, §4.1)."""
+        self.written_sets = None
+        self.read_sets = None
+        self.written_items = None
+
+    def record_write(self, set_name: str, item_name: Optional[str]) -> None:
+        """Note a resolved write of ``set_name`` (item may be dynamic)."""
+        if self.written_sets is not None:
+            self.written_sets = frozenset(self.written_sets | {set_name})
+        if self.written_items is None:
+            return
+        if item_name is None:
+            self.written_items[set_name] = None
+        elif self.written_items.get(set_name, frozenset()) is not None:
+            self.written_items[set_name] = frozenset(
+                self.written_items.get(set_name) or frozenset()
+            ) | {item_name}
+
+    def record_read(self, set_name: str) -> None:
+        if self.read_sets is not None:
+            self.read_sets = frozenset(self.read_sets | {set_name})
 
 
 def _relative_file(func) -> Optional[str]:
@@ -285,6 +318,8 @@ class _FunctionPass(ast.NodeVisitor):
                     self.callees.append(target)
                 elif getattr(target, "__name__", "") in _SDK_WRITERS:
                     self._record_sdk_write(node)
+                elif getattr(target, "__name__", "") in _SDK_READERS:
+                    self._record_sdk_read(node)
                 elif getattr(target, "__name__", "") not in _SDK_SAFE:
                     self._maybe_escape_via_args(node)
             elif target is not None and not inspect.isclass(target) and callable(target):
@@ -346,46 +381,69 @@ class _FunctionPass(ast.NodeVisitor):
         method = func_node.attr
         if method in _VFS_WRITE_METHODS:
             path = node.args[0] if node.args else None
-            set_name = _out_set_from_path(path)
+            set_name, item_name = _set_item_from_path(path, "out")
             if set_name is not None:
-                if self.report.written_sets is not None:
-                    self.report.written_sets = frozenset(
-                        self.report.written_sets | {set_name}
-                    )
+                self.report.record_write(set_name, item_name)
             else:
-                self.report.written_sets = None  # dynamic path: summary unknown
-        elif method not in _VFS_READ_METHODS:
+                # Dynamic path: neither the write nor the item summary
+                # can be trusted any longer.
+                self.report.written_sets = None
+                self.report.written_items = None
+        elif method in _VFS_READ_METHODS:
+            path = node.args[0] if node.args else None
+            set_name, _item = _set_item_from_path(path, "in")
+            if set_name is not None:
+                self.report.record_read(set_name)
+            elif _set_item_from_path(path, "out")[0] is None:
+                # Not a resolvable /in or /out path: the read summary
+                # is no longer complete (reads of /out are harmless).
+                self.report.read_sets = None
+        else:
             self._maybe_escape_via_args(node)
 
     def _record_sdk_write(self, node: ast.Call) -> None:
         set_arg = node.args[1] if len(node.args) > 1 else None
+        item_arg = node.args[2] if len(node.args) > 2 else None
         if isinstance(set_arg, ast.Constant) and isinstance(set_arg.value, str):
-            if self.report.written_sets is not None:
-                self.report.written_sets = frozenset(
-                    self.report.written_sets | {set_arg.value}
-                )
+            if isinstance(item_arg, ast.Constant) and isinstance(item_arg.value, str):
+                self.report.record_write(set_arg.value, item_arg.value)
+            else:
+                self.report.record_write(set_arg.value, None)
         else:
             self.report.written_sets = None
+            self.report.written_items = None
+
+    def _record_sdk_read(self, node: ast.Call) -> None:
+        set_arg = node.args[1] if len(node.args) > 1 else None
+        if isinstance(set_arg, ast.Constant) and isinstance(set_arg.value, str):
+            self.report.record_read(set_arg.value)
+        else:
+            self.report.read_sets = None
 
     def _maybe_escape_via_args(self, node: ast.Call) -> None:
         # The vfs handle flowing into code we do not analyze means the
-        # write summary can no longer be trusted (purity diagnostics
-        # stay valid — the callee is either same-module, and followed,
-        # or trusted platform code).
+        # dataflow summaries can no longer be trusted (purity
+        # diagnostics stay valid — the callee is either same-module,
+        # and followed, or trusted platform code).
         if self.vfs_param is None:
             return
         for arg in list(node.args) + [kw.value for kw in node.keywords]:
             if isinstance(arg, ast.Name) and arg.id == self.vfs_param:
-                self.report.written_sets = None
+                self.report.distrust_summaries()
                 return
 
 
-def _out_set_from_path(path_node) -> Optional[str]:
+def _set_item_from_path(path_node, tree: str) -> tuple[Optional[str], Optional[str]]:
+    """Resolve ``/<tree>/<set>/<item>`` from a constant-enough path node.
+
+    Returns ``(set_name, item_name)``; ``item_name`` is ``None`` when
+    the item segment is dynamic or absent, ``(None, None)`` when even
+    the set segment cannot be resolved.
+    """
+    rendered = None
     if isinstance(path_node, ast.Constant) and isinstance(path_node.value, str):
-        parts = path_node.value.split("/")
-        if len(parts) >= 3 and parts[0] == "" and parts[1] == "out":
-            return parts[2]
-    if isinstance(path_node, ast.JoinedStr):
+        rendered = path_node.value
+    elif isinstance(path_node, ast.JoinedStr):
         # f"/out/{set}/..." with a literal set segment is resolvable.
         rendered = ""
         for piece in path_node.values:
@@ -393,10 +451,20 @@ def _out_set_from_path(path_node) -> Optional[str]:
                 rendered += piece.value
             else:
                 rendered += "\x00"
-        parts = rendered.split("/")
-        if len(parts) >= 3 and parts[0] == "" and parts[1] == "out" and "\x00" not in parts[2]:
-            return parts[2]
-    return None
+    if rendered is None:
+        return None, None
+    parts = rendered.split("/")
+    if len(parts) < 3 or parts[0] != "" or parts[1] != tree or "\x00" in parts[2]:
+        return None, None
+    item = None
+    if len(parts) >= 4 and parts[3] and "\x00" not in parts[3]:
+        item = parts[3]
+    return parts[2], item
+
+
+def _out_set_from_path(path_node) -> Optional[str]:
+    """Back-compat shim: the output-set segment of a write path."""
+    return _set_item_from_path(path_node, "out")[0]
 
 
 def _function_ast(func) -> Optional[ast.AST]:
@@ -443,7 +511,7 @@ def _bytecode_fallback(report: PurityReport, func, file: Optional[str]) -> None:
     code = getattr(func, "__code__", None)
     if code is None:
         report.analyzed = False
-        report.written_sets = None
+        report.distrust_summaries()
         report.diagnostics.append(
             Diagnostic(
                 "PUR090", WARNING,
@@ -454,7 +522,7 @@ def _bytecode_fallback(report: PurityReport, func, file: Optional[str]) -> None:
             )
         )
         return
-    report.written_sets = None  # cannot prove writes without an AST
+    report.distrust_summaries()  # cannot prove dataflow without an AST
     for name in code.co_names:
         resolved = _resolve(name, func)
         if inspect.ismodule(resolved):
@@ -509,7 +577,7 @@ def verify_purity(target) -> PurityReport:
         visitor.visit(func_node)
         if depth >= _MAX_DEPTH:
             if visitor.callees:
-                report.written_sets = None  # unexplored calls may write
+                report.distrust_summaries()  # unexplored calls may touch sets
             continue
         for callee in visitor.callees:
             callee = inspect.unwrap(callee)
@@ -518,7 +586,7 @@ def verify_purity(target) -> PurityReport:
             seen.add(callee)
             callee_node = _function_ast(callee)
             if callee_node is None:
-                report.written_sets = None
+                report.distrust_summaries()
                 continue
             queue.append((callee, callee_node, depth + 1, False))
     return report

@@ -1,13 +1,26 @@
 """The ``python -m repro lint`` driver.
 
-Collects diagnostics across the three passes, applies the checked-in
-baseline, renders text or JSON, and computes the exit code:
+Collects diagnostics across the four passes (determinism self-lint,
+function purity, composition lint, whole-composition dataflow),
+applies the checked-in baseline, renders text/JSON/SARIF, and computes
+the exit code:
 
 - default mode fails (exit 1) on any *new* error-severity finding;
-- ``--strict`` fails on any new finding at all (CI runs this);
+- ``--strict`` fails on any new finding at all, and additionally on
+  *stale* baseline entries for the passes that ran — a suppression
+  matching nothing is dead weight that silently re-admits the finding
+  when someone reintroduces it (CI runs strict);
 - ``--write-baseline`` regenerates the suppression file from the
   current findings (the only sanctioned way to grandfather a finding —
-  codes are never skipped wholesale).
+  codes are never skipped wholesale).  Entries belonging to passes
+  that did *not* run are preserved, so a scoped ``lint --self
+  --write-baseline`` cannot drop the purity pass's suppressions.
+
+Re-lints are incremental: each pass's diagnostics replay from
+:class:`~repro.analysis.cache.AnalysisCache` keyed by content
+fingerprints (file text for the self-lint, the defining module's
+source for functions, canonical DSL plus function sources for
+compositions/dataflow), so an unchanged repo re-lints near-instantly.
 
 The function/composition corpus is the built-in demo registry: the
 three paper applications (log processing, image compression, Text2SQL)
@@ -17,19 +30,38 @@ in files passed on the command line (``examples/*.py`` in CI).
 
 from __future__ import annotations
 
+import inspect
 import os
 from typing import Optional
 
+from .cache import AnalysisCache
 from .composition_lint import extract_dsl_blocks, lint_composition, lint_dsl_source
-from .determinism_lint import lint_self
+from .dataflow import analyze_composition
+from .determinism_lint import iter_self_sources, lint_source
 from .diagnostics import Baseline, Diagnostic, ERROR, render_json, render_text
 from .purity_check import verify_purity
+from .sarif import render_sarif
 
-__all__ = ["run_lint", "collect_diagnostics", "demo_registry", "DEFAULT_BASELINE_PATH"]
+__all__ = [
+    "run_lint",
+    "collect_diagnostics",
+    "demo_registry",
+    "DEFAULT_BASELINE_PATH",
+    "PASS_CODE_PREFIXES",
+]
 
 DEFAULT_BASELINE_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "self_lint_baseline.json"
 )
+
+# Which diagnostic codes each pass owns — scopes baseline staleness and
+# --write-baseline pruning to the passes that actually ran.
+PASS_CODE_PREFIXES = {
+    "self": ("DET",),
+    "functions": ("PUR",),
+    "compositions": ("CMP",),
+    "dataflow": ("RACE", "CON", "COST"),
+}
 
 
 def demo_registry():
@@ -46,42 +78,241 @@ def demo_registry():
     return worker.registry
 
 
+# -- fingerprint helpers ------------------------------------------------------
+
+
+def _function_fingerprint(registry, name: str, module_texts: dict) -> Optional[str]:
+    """Content fingerprint of a function binary, or None (uncacheable).
+
+    Hashes the *whole defining module* rather than just the entry
+    point: the purity pass follows same-module helpers transitively,
+    so an edit to a helper must invalidate the entry.
+    """
+    binary = registry.function(name)
+    entry = inspect.unwrap(getattr(binary, "entry_point", binary))
+    stashed = getattr(entry, "__dandelion_source__", None)
+    if stashed is not None:
+        return AnalysisCache.pass_fingerprint("functions", name, stashed)
+    try:
+        path = inspect.getsourcefile(entry)
+    except TypeError:
+        return None
+    if path is None or path not in module_texts and not os.path.exists(path):
+        return None
+    text = module_texts.get(path)
+    if text is None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        module_texts[path] = text
+    qualname = getattr(entry, "__qualname__", name)
+    return AnalysisCache.pass_fingerprint("functions", name, qualname, text)
+
+
+def _composition_fingerprint(
+    pass_name: str, registry, composition, module_texts: dict
+) -> Optional[str]:
+    """Canonical-DSL + function-source fingerprint, or None."""
+    from ..composition.printer import composition_to_dsl
+
+    parts = []
+    stack = [composition]
+    seen = set()
+    while stack:
+        current = stack.pop()
+        if current.name in seen:
+            continue
+        seen.add(current.name)
+        parts.append(composition_to_dsl(current))
+        for node in current.nodes.values():
+            if node.kind == "composition":
+                stack.append(node.composition)
+    for function_name in sorted(composition.required_functions()):
+        if not registry.has_function(function_name):
+            parts.append(f"<missing:{function_name}>")
+            continue
+        fp = _function_fingerprint(registry, function_name, module_texts)
+        if fp is None:
+            return None
+        parts.append(fp)
+    return AnalysisCache.pass_fingerprint(pass_name, composition.name, *sorted(parts))
+
+
+def _cached_pass(cache, pass_name, key, fingerprint, compute):
+    """Replay a pass result from cache, or compute and store it."""
+    if cache is not None and fingerprint is not None:
+        cached = cache.get(pass_name, key, fingerprint)
+        if cached is not None:
+            return cached
+    found = compute()
+    if cache is not None and fingerprint is not None:
+        cache.put(pass_name, key, fingerprint, found)
+    return found
+
+
+# -- collection ---------------------------------------------------------------
+
+
 def collect_diagnostics(
     *,
     lint_self_pass: bool = True,
     lint_functions: bool = True,
     lint_compositions: bool = True,
+    lint_dataflow: bool = False,
     paths: Optional[list[str]] = None,
     registry=None,
+    cache: Optional[AnalysisCache] = None,
 ) -> list[Diagnostic]:
     """Run the selected passes and pool their findings."""
     diagnostics: list[Diagnostic] = []
+    module_texts: dict[str, str] = {}
     if lint_self_pass:
-        diagnostics.extend(lint_self())
-    if lint_functions or lint_compositions:
+        for reported, source, hot_path in iter_self_sources():
+            fingerprint = AnalysisCache.pass_fingerprint(
+                "self", reported, "hot" if hot_path else "cold", source
+            )
+            diagnostics.extend(
+                _cached_pass(
+                    cache, "self", reported, fingerprint,
+                    lambda s=source, r=reported, h=hot_path: lint_source(
+                        s, r, hot_path=h
+                    ),
+                )
+            )
+    if lint_functions or lint_compositions or lint_dataflow:
         if registry is None:
             registry = demo_registry()
     if lint_functions:
         for name in registry.function_names:
-            diagnostics.extend(verify_purity(registry.function(name)).diagnostics)
+            fingerprint = _function_fingerprint(registry, name, module_texts)
+            diagnostics.extend(
+                _cached_pass(
+                    cache, "functions", name, fingerprint,
+                    lambda n=name: verify_purity(registry.function(n)).diagnostics,
+                )
+            )
     if lint_compositions:
         for name in registry.composition_names:
-            diagnostics.extend(
-                lint_composition(registry.composition(name), registry)
+            composition = registry.composition(name)
+            fingerprint = _composition_fingerprint(
+                "compositions", registry, composition, module_texts
             )
-        for path in paths or []:
-            with open(path, "r", encoding="utf-8") as handle:
-                text = handle.read()
-            for source, offset in extract_dsl_blocks(text):
-                _composition, found = lint_dsl_source(
-                    source,
-                    library=registry.compositions,
-                    registry=registry,
-                    file=path.replace(os.sep, "/"),
-                    line_offset=offset,
+            diagnostics.extend(
+                _cached_pass(
+                    cache, "compositions", name, fingerprint,
+                    lambda c=composition: lint_composition(c, registry),
                 )
-                diagnostics.extend(found)
+            )
+    if lint_dataflow:
+        for name in registry.composition_names:
+            composition = registry.composition(name)
+            fingerprint = _composition_fingerprint(
+                "dataflow", registry, composition, module_texts
+            )
+            diagnostics.extend(
+                _cached_pass(
+                    cache, "dataflow", name, fingerprint,
+                    lambda c=composition: analyze_composition(
+                        c, registry
+                    ).diagnostics,
+                )
+            )
+    if (lint_compositions or lint_dataflow) and paths:
+        diagnostics.extend(
+            _lint_paths(
+                paths, registry, cache, module_texts,
+                compositions=lint_compositions, dataflow=lint_dataflow,
+            )
+        )
     return diagnostics
+
+
+def _lint_paths(paths, registry, cache, module_texts, *, compositions, dataflow):
+    """Lint composition blocks embedded in free-text files."""
+    diagnostics: list[Diagnostic] = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        reported = path.replace(os.sep, "/")
+        for source, offset in extract_dsl_blocks(text):
+            key = f"{reported}::{offset}"
+            composition = None
+            if compositions:
+
+                def _run_block(s=source, o=offset, r=reported):
+                    _comp, found = lint_dsl_source(
+                        s, library=registry.compositions, registry=registry,
+                        file=r, line_offset=o,
+                    )
+                    return found
+
+                # Block diagnostics also depend on registry function
+                # sources (CMP005); fold the registry fingerprint in.
+                registry_salt = _registry_salt(registry, module_texts)
+                fingerprint = None
+                if registry_salt is not None:
+                    fingerprint = AnalysisCache.pass_fingerprint(
+                        "compositions", key, source, registry_salt
+                    )
+                diagnostics.extend(
+                    _cached_pass(cache, "compositions", key, fingerprint, _run_block)
+                )
+            if dataflow:
+                from ..composition.dsl import parse_composition
+                from ..composition.graph import CompositionError
+
+                try:
+                    composition = parse_composition(
+                        source, library=registry.compositions
+                    )
+                except CompositionError:
+                    continue  # the compositions pass reports CMP000
+                registry_salt = _registry_salt(registry, module_texts)
+                fingerprint = None
+                if registry_salt is not None:
+                    fingerprint = AnalysisCache.pass_fingerprint(
+                        "dataflow", key, source, registry_salt
+                    )
+                diagnostics.extend(
+                    _cached_pass(
+                        cache, "dataflow", key, fingerprint,
+                        lambda c=composition, r=reported: analyze_composition(
+                            c, registry, file=r
+                        ).diagnostics,
+                    )
+                )
+    return diagnostics
+
+
+def _registry_salt(registry, module_texts) -> Optional[str]:
+    """One fingerprint over every registered function's source."""
+    parts = []
+    for name in registry.function_names:
+        fp = _function_fingerprint(registry, name, module_texts)
+        if fp is None:
+            return None
+        parts.append(fp)
+    return AnalysisCache.pass_fingerprint("registry", *parts)
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def _ran_prefixes(
+    lint_self_pass, lint_functions, lint_compositions, lint_dataflow
+) -> tuple:
+    prefixes: list[str] = []
+    if lint_self_pass:
+        prefixes += PASS_CODE_PREFIXES["self"]
+    if lint_functions:
+        prefixes += PASS_CODE_PREFIXES["functions"]
+    if lint_compositions:
+        prefixes += PASS_CODE_PREFIXES["compositions"]
+    if lint_dataflow:
+        prefixes += PASS_CODE_PREFIXES["dataflow"]
+    return tuple(prefixes)
 
 
 def run_lint(
@@ -89,34 +320,71 @@ def run_lint(
     lint_self_pass: bool,
     lint_functions: bool,
     lint_compositions: bool,
+    lint_dataflow: bool = False,
     paths: Optional[list[str]] = None,
     output_format: str = "text",
     strict: bool = False,
     baseline_path: Optional[str] = None,
     write_baseline: bool = False,
+    cache_path: Optional[str] = None,
 ) -> tuple[int, str]:
     """Execute the lint command; returns ``(exit_code, report_text)``."""
+    cache = AnalysisCache(cache_path) if cache_path else None
     diagnostics = collect_diagnostics(
         lint_self_pass=lint_self_pass,
         lint_functions=lint_functions,
         lint_compositions=lint_compositions,
+        lint_dataflow=lint_dataflow,
         paths=paths,
+        cache=cache,
+    )
+    if cache is not None:
+        cache.save()
+    prefixes = _ran_prefixes(
+        lint_self_pass, lint_functions, lint_compositions, lint_dataflow
     )
     path = baseline_path or DEFAULT_BASELINE_PATH
     if write_baseline:
-        Baseline.from_diagnostics(diagnostics).write(path)
-        return 0, f"baseline with {len(diagnostics)} finding(s) written to {path}"
+        merged = Baseline.from_diagnostics(diagnostics)
+        if os.path.exists(path):
+            # Preserve suppressions owned by passes that did not run;
+            # stale entries for the passes that *did* run are pruned
+            # simply by not carrying them over.
+            previous = Baseline.load(path)
+            for fingerprint, budget in previous.suppressions.items():
+                code = fingerprint.split("::", 1)[0]
+                if not code.startswith(prefixes):
+                    merged.suppressions[fingerprint] = budget
+        merged.write(path)
+        return 0, (
+            f"baseline with {len(merged.suppressions)} fingerprint(s) "
+            f"written to {path}"
+        )
     if os.path.exists(path):
         baseline = Baseline.load(path)
     else:
         baseline = Baseline()
     new, suppressed = baseline.filter(diagnostics)
+    stale = (
+        baseline.stale_fingerprints(diagnostics, code_prefixes=prefixes)
+        if strict
+        else []
+    )
     if output_format == "json":
         report = render_json(new)
+    elif output_format == "sarif":
+        report = render_sarif(new)
     else:
         report = render_text(new)
         if suppressed:
             report += f"\n{len(suppressed)} finding(s) suppressed by baseline"
+        if stale:
+            listing = "\n".join(f"    {fingerprint}" for fingerprint in stale)
+            report += (
+                f"\n{len(stale)} stale baseline fingerprint(s) match no "
+                f"current finding (strict mode fails; re-run with "
+                f"--write-baseline to prune):\n{listing}"
+            )
     has_new_error = any(d.severity == ERROR for d in new)
-    failed = bool(new) if strict else has_new_error
+    failed = (bool(new) or bool(stale)) if strict else has_new_error
     return (1 if failed else 0), report

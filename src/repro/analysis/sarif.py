@@ -1,0 +1,127 @@
+"""SARIF 2.1.0 renderer for lint diagnostics.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI systems ingest for code-scanning annotations.  This
+renderer emits the minimal conformant subset: one ``run`` with a
+``tool.driver`` carrying the rule table, and one ``result`` per
+diagnostic with its ``ruleId``, ``level``, message, location, and the
+baseline fingerprint under ``partialFingerprints``.
+
+Kept dependency-free on purpose — the structure is plain dicts and the
+conformance surface is pinned by ``tests/analysis/test_sarif.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .diagnostics import Diagnostic, ERROR, sort_key
+
+__all__ = ["render_sarif", "RULES", "SARIF_SCHEMA_URI", "SARIF_VERSION"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/dandelion-repro/repro"
+
+# Rule table: every diagnostic code any pass can emit, with a short
+# description.  SARIF consumers key annotations off this; a diagnostic
+# whose code is missing here still renders (SARIF allows rule-less
+# results) but the conformance test keeps this in sync with the passes.
+RULES: dict[str, str] = {
+    # purity verifier
+    "PUR001": "import of a blocked module inside a compute function",
+    "PUR002": "attribute reach into a blocked module",
+    "PUR003": "call to builtin open() in a compute function",
+    "PUR004": "dynamic-execution escape (exec/eval/__import__/compile)",
+    "PUR005": "global/nonlocal mutation breaks idempotent retries",
+    "PUR006": "generator entry point never executes its body",
+    "PUR010": "nondeterminism source not routed through a seeded RNG",
+    "PUR090": "source unavailable; bytecode-scan fallback only",
+    # composition linter
+    "CMP000": "composition source fails to parse or validate",
+    "CMP001": "declared output set is never consumed",
+    "CMP002": "vertex cannot reach any composition output",
+    "CMP003": "each/key fan-out explosion (comm vertex or chained expansion)",
+    "CMP004": "nested composition shadows a parent set name",
+    "CMP005": "consumed set is provably never written by its producer",
+    # determinism self-lint
+    "DET000": "source file fails to parse",
+    "DET001": "wall-clock call in a hot-path module",
+    "DET002": "unseeded RNG use in a hot-path module",
+    "DET003": "iteration over a set expression or id()-keyed ordering",
+    "DET004": "hot-path class defines __init__ without __slots__",
+    "DET005": "environment read makes behavior host-dependent",
+    "DET006": "wall-clock function smuggled as a value (uncalled reference)",
+    # dataflow analyzer
+    "RACE001": "DAG-unordered nodes both write one set outside their interfaces",
+    "RACE002": "read of a set only DAG-unordered nodes produce",
+    "RACE003": "fan-out instances collide on a constant output item name",
+    "RACE004": "function writes its own declared input set (alias double-write)",
+    "CON001": "read of a set no vertex on any path produces",
+    "CON002": "nested-composition alias resolves to a never-written set",
+    "CON003": "item-cardinality mismatch across an each/key boundary",
+    "COST001": "declared deadline statically unreachable on the critical path",
+    "COST002": "peak in-flight bytes estimate exceeds memory capacity",
+    "COST003": "deadline declared but fan-out statically unbounded",
+}
+
+
+def _result(diagnostic: Diagnostic) -> dict:
+    level = "error" if diagnostic.severity == ERROR else "warning"
+    message = diagnostic.message
+    if diagnostic.hint:
+        message = f"{message} (hint: {diagnostic.hint})"
+    result = {
+        "ruleId": diagnostic.code,
+        "level": level,
+        "message": {"text": message},
+        "partialFingerprints": {"reproLintFingerprint/v1": diagnostic.fingerprint},
+    }
+    if diagnostic.file:
+        physical: dict = {
+            "artifactLocation": {"uri": diagnostic.file.replace("\\", "/")}
+        }
+        if diagnostic.line is not None:
+            physical["region"] = {"startLine": int(diagnostic.line)}
+        result["locations"] = [{"physicalLocation": physical}]
+    if diagnostic.symbol:
+        result["properties"] = {"symbol": diagnostic.symbol}
+    return result
+
+
+def render_sarif(diagnostics: Iterable[Diagnostic]) -> str:
+    """Render diagnostics as a SARIF 2.1.0 log (JSON text)."""
+    ordered = sorted(diagnostics, key=sort_key)
+    used_codes = sorted({d.code for d in ordered} | set(RULES))
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {
+                "text": RULES.get(code, "undocumented diagnostic code")
+            },
+        }
+        for code in used_codes
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(d) for d in ordered],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -347,6 +347,13 @@ class ClusterManager:
             sorted(registered.required_functions())
         )
         self._hedgeable[registered.name] = _pure_compute(registered)
+        ingest = getattr(self.routing_policy, "ingest_summary", None)
+        if ingest is not None and self.workers:
+            # Cost-aware policies take the static dataflow summary at
+            # registration time; other policies never pay for analysis.
+            summary = self.workers[0].dispatcher.cost_summary(registered.name)
+            if summary is not None:
+                ingest(summary)
         return registered
 
     # -- routing ---------------------------------------------------------------

@@ -17,6 +17,7 @@ from .graph import (
 )
 from .registry import (
     DEFAULT_MEMORY_LIMIT,
+    CompositionVerificationError,
     FunctionBinary,
     PurityVerificationError,
     Registry,
@@ -40,6 +41,7 @@ __all__ = [
     "composition_to_dsl",
     "DEFAULT_MEMORY_LIMIT",
     "FunctionBinary",
+    "CompositionVerificationError",
     "PurityVerificationError",
     "Registry",
     "RegistryError",

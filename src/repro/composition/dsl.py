@@ -26,10 +26,16 @@ concrete syntax:
 ``# ...`` comments run to end of line.  Nested compositions are
 declared with ``compose <node> uses <composition-name>;`` and resolved
 against the ``library`` mapping passed to :func:`parse_composition`.
+
+A composition may declare an end-to-end latency target with
+``deadline 500ms;`` (units ``us``/``ms``/``s``); the static cost
+analysis checks the critical path against it (COST001) and the
+dispatcher admission path can consult it.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Optional
 
 from .graph import (
@@ -56,6 +62,9 @@ class DslError(CompositionError):
 
 
 _PUNCTUATION = {"{", "}", "(", ")", "[", "]", ",", ";", "."}
+
+_DEADLINE_RE = re.compile(r"^([0-9]+(?:\.[0-9]+)?)(us|ms|s)$")
+_DEADLINE_UNITS = {"us": 1e-6, "ms": 1e-3, "s": 1.0}
 
 
 class _Token:
@@ -148,6 +157,7 @@ class _Parser:
         edges: list[Edge] = []
         inputs: list[InputBinding] = []
         outputs: list[OutputBinding] = []
+        deadline_seconds: Optional[float] = None
         while True:
             token = self._peek()
             if token is None:
@@ -165,13 +175,20 @@ class _Parser:
                 inputs.append(self._parse_input())
             elif token.text == "output":
                 outputs.append(self._parse_output())
+            elif token.text == "deadline":
+                if deadline_seconds is not None:
+                    raise DslError("duplicate deadline statement", token.line)
+                deadline_seconds = self._parse_deadline()
             else:
                 edges.append(self._parse_edge())
         trailing = self._peek()
         if trailing is not None:
             raise DslError(f"unexpected trailing token {trailing.text!r}", trailing.line)
         try:
-            return Composition(name, nodes, edges, inputs, outputs)
+            return Composition(
+                name, nodes, edges, inputs, outputs,
+                deadline_seconds=deadline_seconds,
+            )
         except CompositionError as exc:
             raise DslError(str(exc), self._tokens[-1].line) from exc
 
@@ -207,6 +224,28 @@ class _Parser:
         if nested is None:
             raise DslError(f"unknown composition {composition_name!r}", token.line)
         return CompositionNode(node_name, nested)
+
+    def _parse_deadline(self) -> float:
+        keyword = self._expect("deadline")
+        # "500ms" is one token; "0.5s" tokenizes as "0" "." "5s" — join
+        # every token up to the ";" and parse the magnitude+unit whole.
+        pieces: list[str] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise DslError("unterminated deadline statement", self._line())
+            if token.text == ";":
+                self._next()
+                break
+            pieces.append(self._next().text)
+        match = _DEADLINE_RE.match("".join(pieces))
+        if match is None:
+            raise DslError(
+                f"invalid deadline {''.join(pieces)!r}; expected e.g. "
+                "'deadline 500ms;' (units us/ms/s)",
+                keyword.line,
+            )
+        return float(match.group(1)) * _DEADLINE_UNITS[match.group(2)]
 
     def _parse_name_list(self) -> tuple[str, ...]:
         self._expect("(")

@@ -161,10 +161,22 @@ class Composition:
         edges: list[Edge],
         inputs: list[InputBinding],
         outputs: list[OutputBinding],
+        *,
+        deadline_seconds: Optional[float] = None,
     ):
         if not name:
             raise CompositionError("composition name must be non-empty")
+        if deadline_seconds is not None:
+            deadline_seconds = float(deadline_seconds)
+            if deadline_seconds <= 0:
+                raise CompositionError(
+                    f"deadline must be positive, got {deadline_seconds}"
+                )
         self.name = name
+        # Declared end-to-end latency target; the static cost analysis
+        # (repro.analysis.dataflow) checks the critical path against it
+        # and the dispatcher can use it for admission.
+        self.deadline_seconds = deadline_seconds
         self.nodes = {node.name: node for node in nodes}
         if len(self.nodes) != len(nodes):
             raise CompositionError("duplicate node names")

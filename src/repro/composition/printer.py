@@ -20,6 +20,14 @@ def composition_to_dsl(composition: Composition) -> str:
     ``library`` argument when re-parsing.
     """
     lines: list[str] = [f"composition {composition.name} {{"]
+    if composition.deadline_seconds is not None:
+        # Render in microseconds when that is exact-ish, else seconds;
+        # "%g" keeps round-trips stable for the values the DSL accepts.
+        micros = composition.deadline_seconds * 1e6
+        if micros == int(micros):
+            lines.append(f"    deadline {int(micros)}us;")
+        else:
+            lines.append(f"    deadline {composition.deadline_seconds:g}s;")
     for node in composition.nodes.values():
         if node.kind == "compute":
             inputs = ", ".join(node.input_sets)

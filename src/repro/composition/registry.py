@@ -21,6 +21,7 @@ __all__ = [
     "Registry",
     "RegistryError",
     "PurityVerificationError",
+    "CompositionVerificationError",
 ]
 
 DEFAULT_MEMORY_LIMIT = 64 * 1024 * 1024  # bytes, like a Lambda memory setting
@@ -37,6 +38,19 @@ class PurityVerificationError(RegistryError):
     Carries the error-severity diagnostics so callers (and tests) can
     inspect exactly which contract the function would have violated
     mid-invocation.
+    """
+
+    def __init__(self, message: str, diagnostics):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
+class CompositionVerificationError(RegistryError):
+    """Static dataflow analysis rejected a composition at registration.
+
+    Carries the error-severity RACE/CON/COST diagnostics so callers can
+    see exactly which cross-node contract the composition would have
+    broken at run time.
     """
 
     def __init__(self, message: str, diagnostics):
@@ -152,7 +166,25 @@ class Registry:
 
     # -- compositions -------------------------------------------------------
 
-    def register_composition(self, composition: Composition) -> None:
+    def register_composition(
+        self, composition: Composition, verify: Optional[str] = None
+    ) -> None:
+        """Register a composition, optionally dataflow-verifying it first.
+
+        ``verify`` selects the whole-composition static analysis
+        (:mod:`repro.analysis.dataflow`) mode:
+
+        - ``None`` (default): structural validation only;
+        - ``"warn"``: run the analyzer, surface findings as
+          :class:`~repro.analysis.purity_check.PurityWarning`;
+        - ``"strict"``: reject the registration with
+          :class:`CompositionVerificationError` on any error-severity
+          RACE/CON/COST finding.
+        """
+        if verify not in (None, "warn", "strict"):
+            raise RegistryError(
+                f"unknown verify mode {verify!r}; expected 'warn' or 'strict'"
+            )
         if composition.name in self._compositions:
             raise RegistryError(
                 f"composition {composition.name!r} already registered"
@@ -167,6 +199,28 @@ class Registry:
                 f"composition {composition.name!r} references unregistered "
                 f"functions: {', '.join(missing)}"
             )
+        if verify is not None:
+            from ..analysis.dataflow import analyze_composition
+            from ..analysis.diagnostics import render_text
+            from ..analysis.purity_check import PurityWarning
+
+            report = analyze_composition(composition, self)
+            if verify == "strict" and not report.ok:
+                errors = [
+                    d for d in report.diagnostics if d.severity == "error"
+                ]
+                raise CompositionVerificationError(
+                    f"composition {composition.name!r} failed static "
+                    f"dataflow verification:\n{render_text(errors)}",
+                    errors,
+                )
+            if report.diagnostics:
+                warnings.warn(
+                    f"composition {composition.name!r}: "
+                    f"{render_text(report.diagnostics)}",
+                    PurityWarning,
+                    stacklevel=2,
+                )
         self._compositions[composition.name] = composition
 
     def composition(self, name: str) -> Composition:

@@ -152,6 +152,9 @@ class Dispatcher:
         "retry_backoff_base",
         "retries_performed",
         "deadline_expirations",
+        "static_admission",
+        "admission_rejections",
+        "_cost_summaries",
         "_warm_binaries",
         "_serial_cache",
         "_invocation_ids",
@@ -175,6 +178,7 @@ class Dispatcher:
         data_passing: str = "copy",
         retry_rng=None,
         retry_backoff_base: float = _RETRY_BACKOFF_BASE_SECONDS,
+        static_admission: bool = False,
     ):
         self.env = env
         self.registry = registry
@@ -200,6 +204,15 @@ class Dispatcher:
         self.retry_backoff_base = retry_backoff_base
         self.retries_performed = 0
         self.deadline_expirations = 0
+        # Static admission (repro.analysis.dataflow): when enabled,
+        # invocations of a composition whose declared deadline is
+        # statically unreachable are rejected before any scheduling or
+        # memory-context work happens — the cost summary is a lower
+        # bound (unbounded parallelism), so a failing path can *never*
+        # meet the deadline.
+        self.static_admission = static_admission
+        self.admission_rejections = 0
+        self._cost_summaries: dict[int, object] = {}
         self._warm_binaries: set[str] = set()
         # Composition id -> (composition, serial node order or None);
         # see _serial_nodes.
@@ -226,6 +239,22 @@ class Dispatcher:
         """O(1) membership probe into the in-RAM binary cache."""
         return name in self._warm_binaries
 
+    def cost_summary(self, composition_name: str):
+        """Static cost envelope of a registered composition (cached).
+
+        Computed lazily by :func:`repro.analysis.dataflow.cost_summary`
+        on first request and memoized per composition object.
+        """
+        composition = self.registry.composition(composition_name)
+        key = id(composition)
+        summary = self._cost_summaries.get(key)
+        if summary is None:
+            from ..analysis.dataflow import cost_summary as analyze_cost
+
+            summary = analyze_cost(composition, self.registry)
+            self._cost_summaries[key] = summary
+        return summary
+
     def invoke(self, composition_name: str, inputs: dict[str, DataSet]):
         """Start an invocation; returns a process yielding InvocationResult."""
         composition = self.registry.composition(composition_name)
@@ -235,6 +264,18 @@ class Dispatcher:
         invocation_id = next(self._invocation_ids)
         self.invocations_started += 1
         result = InvocationResult(invocation_id=invocation_id, started_at=self.env.now)
+        if self.static_admission and composition.deadline_seconds is not None:
+            summary = self.cost_summary(composition.name)
+            if summary.deadline_feasible is False:
+                self.admission_rejections += 1
+                self.invocations_failed += 1
+                result.error = InvocationError(
+                    f"composition {composition.name!r} statically rejected: "
+                    f"critical path {summary.critical_path_seconds:.6g}s "
+                    f"cannot meet the {composition.deadline_seconds}s deadline"
+                )
+                result.finished_at = self.env.now
+                return result
         try:
             outputs = yield from self._run_composition(composition, inputs, invocation_id)
         except InvocationError as exc:

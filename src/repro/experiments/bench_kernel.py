@@ -616,6 +616,78 @@ def bench_self_lint() -> dict:
     return numbers
 
 
+def bench_dataflow_corpus(rounds: int = 5) -> dict:
+    """Whole-composition dataflow analysis over the violation corpus.
+
+    ``operations`` counts analyzed compositions (corpus entries ×
+    rounds); registry construction and function purity summaries are
+    warm before the timer starts, so this measures the analyzer itself
+    (graph facts, reachability, rule sweep, cost model).
+    """
+    from ..analysis.dataflow_corpus import CORPUS, analyze_entry, build_registry
+
+    registry = build_registry()
+    for entry in CORPUS:  # prime purity summaries / parse caches
+        analyze_entry(entry, registry)
+
+    def run() -> int:
+        analyzed = 0
+        for _ in range(rounds):
+            for entry in CORPUS:
+                analyze_entry(entry, registry)
+                analyzed += 1
+        return analyzed
+
+    return _timed(run)
+
+
+def bench_lint_incremental_warm() -> dict:
+    """Cold vs cache-warm full lint (all four passes, demo registry).
+
+    The warm run replays fingerprint-matched results from the analysis
+    cache instead of re-parsing/re-verifying; CI gates the speedup at
+    10× so a cache regression (bad fingerprint, dropped entry) fails
+    the perf-smoke job rather than silently slowing every re-lint.
+    """
+    import os
+    import tempfile
+
+    from ..analysis.cache import AnalysisCache
+    from ..analysis.runner import collect_diagnostics, demo_registry
+
+    registry = demo_registry()
+    handle, path = tempfile.mkstemp(suffix=".json", prefix="repro_lint_cache_")
+    os.close(handle)
+    try:
+        cache = AnalysisCache(path)
+        start = time.perf_counter()
+        cold_findings = collect_diagnostics(
+            lint_dataflow=True, registry=registry, cache=cache
+        )
+        cold = time.perf_counter() - start
+        cache.save()
+        warm_cache = AnalysisCache(path)
+        start = time.perf_counter()
+        warm_findings = collect_diagnostics(
+            lint_dataflow=True, registry=registry, cache=warm_cache
+        )
+        warm = time.perf_counter() - start
+    finally:
+        os.unlink(path)
+    if len(cold_findings) != len(warm_findings):
+        raise RuntimeError(
+            f"cache replay changed findings: {len(cold_findings)} cold "
+            f"vs {len(warm_findings)} warm"
+        )
+    return {
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "warm_speedup": round(cold / warm, 1) if warm > 0 else None,
+        "findings": len(cold_findings),
+        "cache_entries": len(warm_cache),
+    }
+
+
 def bench_fig05_full() -> float:
     from .fig05_creation_throughput import run_fig05
 
@@ -678,6 +750,8 @@ BENCH_GROUPS: "dict[str, Callable[[], dict]]" = {
     "static_analysis": lambda: {
         "purity_verification_25x": bench_purity_verification(),
         "self_lint_sweep": bench_self_lint(),
+        "dataflow_analyze_corpus": bench_dataflow_corpus(),
+        "lint_incremental_warm": bench_lint_incremental_warm(),
     },
     "fig05_reduced": lambda: {"seconds": round(bench_fig05_reduced(), 4)},
     "trace_scale": _bench_trace_scale_group,

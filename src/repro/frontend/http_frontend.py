@@ -51,15 +51,19 @@ class Frontend(HttpService):
         static purity verifier at registration time (§4.1)."""
         self.registry.register_function(binary, verify=verify)
 
-    def register_composition(self, composition_or_source) -> Composition:
-        """Register a Composition object or composition-language source."""
+    def register_composition(
+        self, composition_or_source, verify: Optional[str] = None
+    ) -> Composition:
+        """Register a Composition object or composition-language source;
+        ``verify="warn"|"strict"`` runs the whole-composition dataflow
+        analyzer (races, contracts, cost) at registration time."""
         if isinstance(composition_or_source, Composition):
             composition = composition_or_source
         else:
             composition = parse_composition(
                 composition_or_source, library=self.registry.compositions
             )
-        self.registry.register_composition(composition)
+        self.registry.register_composition(composition, verify=verify)
         return composition
 
     def invoke(self, composition_name: str, inputs: dict):
@@ -101,8 +105,16 @@ class Frontend(HttpService):
         HttpService contract synchronous.
         """
         if request.method == "POST" and request.path.startswith("/v1/compositions"):
+            verify = None
+            if "?" in request.path:
+                query = request.path.split("?", 1)[1]
+                for pair in query.split("&"):
+                    if pair.startswith("verify="):
+                        verify = pair.split("=", 1)[1] or None
             try:
-                composition = self.register_composition(request.body.decode("utf-8"))
+                composition = self.register_composition(
+                    request.body.decode("utf-8"), verify=verify
+                )
             except Exception as exc:  # noqa: BLE001 - surface as HTTP error
                 return HttpResponse(status=400, reason=str(exc))
             return HttpResponse(status=201, body=composition.name.encode())

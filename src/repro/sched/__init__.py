@@ -36,6 +36,7 @@ core reallocation      :class:`CoreSnapshot`          :class:`PiCorePolicy`,
 """
 
 from .cores import CorePolicy, PiCorePolicy, StaticCorePolicy
+from .hints import CostAware, StaticHints
 from .routing import (
     JSQ,
     GrayFailureAware,
@@ -66,6 +67,7 @@ __all__ = [
     "ClusterSnapshot",
     "CorePolicy",
     "CoreSnapshot",
+    "CostAware",
     "FixedHotRatioPolicy",
     "GrayFailureAware",
     "JSQ",
@@ -84,6 +86,7 @@ __all__ = [
     "SandboxSnapshot",
     "ScaleChoice",
     "StaticCorePolicy",
+    "StaticHints",
     "WorkerSnapshot",
     "make_routing_policy",
 ]

@@ -1,0 +1,104 @@
+"""Incremental analysis cache: fingerprints, replay, tolerance."""
+
+import json
+import os
+
+from repro.analysis.cache import (
+    PASS_VERSIONS,
+    AnalysisCache,
+    fingerprint_text,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.runner import collect_diagnostics, demo_registry
+
+
+def _diag(code="DET001", file="x.py"):
+    return Diagnostic(
+        code=code, severity="error", message="m", file=file, line=1, symbol="f"
+    )
+
+
+def test_fingerprint_is_content_addressed():
+    assert fingerprint_text("a", "b") == fingerprint_text("a", "b")
+    assert fingerprint_text("a", "b") != fingerprint_text("a", "c")
+    # Part boundaries matter: ("ab", "") must not collide with ("a", "b").
+    assert fingerprint_text("ab", "") != fingerprint_text("a", "b")
+
+
+def test_pass_version_salts_fingerprint():
+    base = AnalysisCache.pass_fingerprint("self", "source")
+    assert base != AnalysisCache.pass_fingerprint("functions", "source")
+    assert PASS_VERSIONS["self"]  # bumping this string invalidates "self"
+
+
+def test_put_get_roundtrip(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = AnalysisCache(path)
+    finding = _diag()
+    cache.put("self", "x.py", "fp1", [finding])
+    hit = cache.get("self", "x.py", "fp1")
+    assert hit is not None and len(hit) == 1
+    assert hit[0].code == finding.code and hit[0].line == finding.line
+
+
+def test_miss_on_changed_fingerprint(tmp_path):
+    cache = AnalysisCache(str(tmp_path / "cache.json"))
+    cache.put("self", "x.py", "fp1", [])
+    assert cache.get("self", "x.py", "fp1") is not None
+    assert cache.get("self", "x.py", "fp2") is None
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_save_and_reload(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = AnalysisCache(path)
+    cache.put("functions", "mod.fn", "fp", [_diag("PUR001")])
+    cache.save()
+    reloaded = AnalysisCache(path)
+    assert len(reloaded) == 1
+    hit = reloaded.get("functions", "mod.fn", "fp")
+    assert hit is not None and hit[0].code == "PUR001"
+
+
+def test_corrupt_cache_file_is_empty_not_fatal(tmp_path):
+    path = str(tmp_path / "cache.json")
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    cache = AnalysisCache(path)
+    assert len(cache) == 0
+    cache.put("self", "k", "fp", [])
+    cache.save()  # and it can still persist over the corrupt file
+    assert len(AnalysisCache(path)) == 1
+
+
+def test_wrong_schema_is_discarded(tmp_path):
+    path = str(tmp_path / "cache.json")
+    with open(path, "w") as handle:
+        json.dump({"schema": "something-else/v9", "entries": {"a": {}}}, handle)
+    assert len(AnalysisCache(path)) == 0
+
+
+def test_missing_file_is_empty(tmp_path):
+    assert len(AnalysisCache(str(tmp_path / "absent.json"))) == 0
+
+
+def test_save_is_atomic(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = AnalysisCache(path)
+    cache.put("self", "k", "fp", [])
+    cache.save()
+    assert not os.path.exists(path + ".tmp")
+
+
+def test_warm_replay_reproduces_cold_findings(tmp_path):
+    path = str(tmp_path / "cache.json")
+    registry = demo_registry()
+    cache = AnalysisCache(path)
+    cold = collect_diagnostics(lint_dataflow=True, registry=registry, cache=cache)
+    cache.save()
+    warm_cache = AnalysisCache(path)
+    warm = collect_diagnostics(
+        lint_dataflow=True, registry=registry, cache=warm_cache
+    )
+    assert [d.to_dict() for d in cold] == [d.to_dict() for d in warm]
+    assert warm_cache.hits > 0 and warm_cache.misses == 0

@@ -154,3 +154,35 @@ def test_extract_dsl_blocks_offsets():
 
 def test_extract_dsl_blocks_none_in_plain_text():
     assert extract_dsl_blocks("def composition():\n    pass\n") == []
+
+
+def test_cmp000_message_relined_to_embedding_file():
+    # The diag line was always file-absolute, but the message used to
+    # keep the block-relative "line N:" prefix — confusing for every
+    # multi-block script.  Both must agree now.
+    bad = "composition b {\n    compute w uses f in(src) out(;\n}\n"
+    _composition, diagnostics = lint_dsl_source(
+        bad, file="mod.py", line_offset=40
+    )
+    assert diagnostics[0].code == "CMP000"
+    assert diagnostics[0].line == 42
+    assert "line 42:" in diagnostics[0].message
+    assert "line 2:" not in diagnostics[0].message
+
+
+def test_cmp000_second_block_of_multiblock_script():
+    text = (
+        "preamble\n\n"
+        + VALID_PIPELINE
+        + "\ncomposition second_broken {\n    compute w uses f in(src out(dst);\n}\n"
+    )
+    blocks = extract_dsl_blocks(text)
+    assert len(blocks) == 2
+    source, offset = blocks[1]
+    _composition, diagnostics = lint_dsl_source(
+        source, file="multi.py", line_offset=offset
+    )
+    assert diagnostics[0].code == "CMP000"
+    expected_line = text[: text.index("in(src out(")].count("\n") + 1
+    assert diagnostics[0].line == expected_line
+    assert f"line {expected_line}:" in diagnostics[0].message

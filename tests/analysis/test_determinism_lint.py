@@ -137,3 +137,63 @@ def test_hot_path_modules_exist():
     package_root = os.path.dirname(repro.__file__)
     for module in HOT_PATH_MODULES:
         assert os.path.exists(os.path.join(package_root, module)), module
+
+
+# -- DET005: environment reads -------------------------------------------------
+
+
+def test_environ_subscript_flagged():
+    source = "import os\n\ndef cfg():\n    return os.environ['MODE']\n"
+    assert _codes(lint_source(source, "x.py")) == {"DET005"}
+
+
+def test_getenv_call_flagged():
+    source = "import os\n\ndef cfg():\n    return os.getenv('MODE')\n"
+    assert _codes(lint_source(source, "x.py")) == {"DET005"}
+
+
+def test_bare_environ_import_flagged():
+    source = "from os import environ\n\ndef cfg():\n    return environ.get('MODE')\n"
+    assert _codes(lint_source(source, "x.py")) == {"DET005"}
+
+
+def test_bare_getenv_import_flagged():
+    source = "from os import getenv\n\ndef cfg():\n    return getenv('MODE', '1')\n"
+    assert _codes(lint_source(source, "x.py")) == {"DET005"}
+
+
+def test_aliased_os_module_environ_flagged():
+    source = "import os as host\n\ndef cfg():\n    return host.environ['MODE']\n"
+    assert _codes(lint_source(source, "x.py")) == {"DET005"}
+
+
+# -- DET006: wall-clock function objects smuggled as values --------------------
+
+
+def test_wallclock_as_sort_key_flagged():
+    source = (
+        "import time\n\ndef newest(items):\n"
+        "    return sorted(items, key=time.time)\n"
+    )
+    assert _codes(lint_source(source, "x.py")) == {"DET006"}
+
+
+def test_bare_wallclock_as_value_flagged():
+    source = (
+        "from time import perf_counter\n\ndef hooks():\n"
+        "    return {'clock': perf_counter}\n"
+    )
+    assert _codes(lint_source(source, "x.py")) == {"DET006"}
+
+
+def test_wallclock_call_is_det001_not_det006():
+    source = "import time\n\ndef tick():\n    return time.time()\n"
+    assert _codes(lint_source(source, "x.py")) == {"DET001"}
+
+
+def test_wallclock_default_argument_flagged():
+    source = (
+        "import time\n\ndef sample(clock=time.perf_counter):\n"
+        "    return clock()\n"
+    )
+    assert _codes(lint_source(source, "x.py")) == {"DET006"}

@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 conformance for the lint renderer.
+
+No jsonschema dependency in the image, so the required shape of the
+spec's subset we emit is pinned by hand: the properties GitHub code
+scanning actually requires of a minimal uploadable SARIF log.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.dataflow_corpus import analyze_corpus
+from repro.analysis.determinism_lint import lint_source
+from repro.analysis.sarif import (
+    RULES,
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render_sarif,
+)
+
+
+@pytest.fixture(scope="module")
+def sarif_log():
+    diagnostics = [
+        d for report in analyze_corpus().values() for d in report.diagnostics
+    ]
+    diagnostics += lint_source(
+        "import time\n\ndef tick():\n    return time.time()\n", "x.py"
+    )
+    assert diagnostics
+    return json.loads(render_sarif(diagnostics)), diagnostics
+
+
+def test_top_level_shape(sarif_log):
+    log, _ = sarif_log
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    assert log["$schema"] == SARIF_SCHEMA_URI
+    assert isinstance(log["runs"], list) and len(log["runs"]) == 1
+
+
+def test_tool_driver(sarif_log):
+    log, _ = sarif_log
+    driver = log["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert driver["informationUri"].startswith("https://")
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)  # deterministic rule table
+    assert len(rule_ids) == len(set(rule_ids))
+
+
+def test_every_result_references_a_rule(sarif_log):
+    log, diagnostics = sarif_log
+    run = log["runs"][0]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert len(run["results"]) == len(diagnostics)
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert result["level"] in ("error", "warning")
+        assert result["message"]["text"]
+
+
+def test_results_carry_physical_locations(sarif_log):
+    # Registry-sourced diagnostics have no file (location is optional
+    # in SARIF); every file-backed diagnostic must carry one.
+    log, diagnostics = sarif_log
+    located = 0
+    for result in log["runs"][0]["results"]:
+        for location_wrapper in result.get("locations", ()):
+            located += 1
+            location = location_wrapper["physicalLocation"]
+            assert location["artifactLocation"]["uri"]
+            region = location.get("region")
+            if region is not None:
+                assert region["startLine"] >= 1
+    assert located == sum(1 for d in diagnostics if d.file)
+    assert located > 0
+
+
+def test_results_carry_baseline_fingerprints(sarif_log):
+    log, diagnostics = sarif_log
+    fingerprints = [
+        result["partialFingerprints"]["reproLintFingerprint/v1"]
+        for result in log["runs"][0]["results"]
+    ]
+    assert all(fingerprints)
+    assert set(fingerprints) == {d.fingerprint for d in diagnostics}
+
+
+def test_rule_table_covers_every_pass_family():
+    families = {code[:3] for code in RULES}
+    assert {"PUR", "CMP", "DET", "RAC", "CON", "COS"} <= families
+
+
+def test_render_is_deterministic(sarif_log):
+    _, diagnostics = sarif_log
+    assert render_sarif(diagnostics) == render_sarif(list(diagnostics))
+
+
+def test_empty_log_is_valid():
+    log = json.loads(render_sarif([]))
+    assert log["runs"][0]["results"] == []

@@ -1,0 +1,92 @@
+"""Static deadline admission in the dispatcher (dataflow cost hints)."""
+
+from repro.functions import compute_function, read_items
+from repro.worker import WorkerConfig, WorkerNode
+
+
+def make_worker(static_admission=True):
+    worker = WorkerNode(WorkerConfig(total_cores=4, control_plane_enabled=False))
+    worker.dispatcher.static_admission = static_admission
+    return worker
+
+
+@compute_function(compute_cost=0.1)
+def slow_step(vfs):
+    items = read_items(vfs, "src")
+    vfs.write_bytes("/out/dst/item", items[0].data)
+
+
+SLOW_CHAIN = """
+composition slow_chain {
+    %s
+    compute s1 uses slow_step in(src) out(dst);
+    compute s2 uses slow_step in(src) out(dst);
+    compute s3 uses slow_step in(src) out(dst);
+    input start -> s1.src;
+    s1.dst -> s2.src;
+    s2.dst -> s3.src;
+    output s3.dst -> result;
+}
+"""
+
+
+def _register(worker, deadline_clause):
+    worker.frontend.register_function(slow_step)
+    worker.frontend.register_composition(SLOW_CHAIN % deadline_clause)
+
+
+def test_infeasible_deadline_rejected_before_scheduling():
+    worker = make_worker()
+    _register(worker, "deadline 50ms;")  # critical path is 300ms
+    result = worker.invoke_and_run("slow_chain", {"start": b"x"})
+    assert not result.ok
+    assert "statically rejected" in str(result.error)
+    assert worker.dispatcher.admission_rejections == 1
+    assert worker.dispatcher.invocations_failed == 1
+
+
+def test_feasible_deadline_admitted():
+    worker = make_worker()
+    _register(worker, "deadline 1s;")
+    result = worker.invoke_and_run("slow_chain", {"start": b"x"})
+    assert result.ok
+    assert result.output("result").item("item").data == b"x"
+    assert worker.dispatcher.admission_rejections == 0
+
+
+def test_no_deadline_never_rejected():
+    worker = make_worker()
+    _register(worker, "")
+    result = worker.invoke_and_run("slow_chain", {"start": b"x"})
+    assert result.ok
+    assert worker.dispatcher.admission_rejections == 0
+
+
+def test_admission_off_by_default():
+    worker = WorkerNode(WorkerConfig(total_cores=4, control_plane_enabled=False))
+    assert worker.dispatcher.static_admission is False
+    _register(worker, "deadline 50ms;")
+    # With admission off the infeasible invocation runs (and blows its
+    # deadline at runtime or succeeds late) instead of fast-failing.
+    result = worker.invoke_and_run("slow_chain", {"start": b"x"})
+    assert worker.dispatcher.admission_rejections == 0
+    assert result.ok
+
+
+def test_rejection_is_instant_in_virtual_time():
+    worker = make_worker()
+    _register(worker, "deadline 50ms;")
+    before = worker.env.now
+    result = worker.invoke_and_run("slow_chain", {"start": b"x"})
+    assert not result.ok
+    # Only the fixed frontend overhead elapses — no vertex (each worth
+    # 0.1s of virtual compute) was ever scheduled.
+    assert worker.env.now - before < 0.001
+
+
+def test_cost_summary_memoized():
+    worker = make_worker()
+    _register(worker, "deadline 50ms;")
+    first = worker.dispatcher.cost_summary("slow_chain")
+    assert worker.dispatcher.cost_summary("slow_chain") is first
+    assert first.deadline_feasible is False

@@ -196,6 +196,7 @@ def test_registry_maps_names_to_classes():
         "jsq",
         "locality",
         "gray",
+        "cost",
     }
     for name, cls in ROUTING_POLICIES.items():
         assert issubclass(cls, RoutingPolicy)
