@@ -7,20 +7,30 @@ Usage::
     python -m repro run all
     python -m repro run fig9 --scale-factor 0.02
     python -m repro run fig7 --profile
+    python -m repro scenario list
+    python -m repro scenario run sec61 --set faults.transient_rate=0.1
+    python -m repro scenario sweep sec62 --axis policy=random,jsq \
+                                         --axis fleet=4,8,16 --output m.json
+    python -m repro scenario diff old.json new.json [--tolerance p99_ms=0.3]
     python -m repro bench [--full] [--output BENCH_sim_kernel.json]
-    python -m repro lint [--self | --compositions | --functions | --dataflow]
+    python -m repro lint [--self | --compositions | --functions | --dataflow
+                          | --scenarios]
                          [--only PASS ...] [paths ...]
                          [--format json|sarif] [--strict] [--no-cache]
 
 Each experiment prints the same rows/series the paper reports (see
-EXPERIMENTS.md for the paper-vs-measured comparison).  ``bench`` times
-the simulation kernel's hot paths and records them in a JSON file so
-perf regressions are visible across PRs (see docs/simulation.md).
-``lint`` runs the static-analysis passes — purity verification of
-registered compute functions, composition linting, whole-composition
-dataflow analysis (RACE/CON/COST), and the determinism self-lint over
-``src/repro`` itself (see docs/static_analysis.md).  Re-lints replay
-unchanged results from ``.repro_lint_cache.json``.
+EXPERIMENTS.md for the paper-vs-measured comparison); ``list``
+descriptions come straight from the experiment modules' docstrings.
+``scenario`` is the declarative harness (docs/scenarios.md): run one
+spec file to a KPI record, sweep axes into a KPI matrix, diff records
+within tolerance bands.  ``bench`` times the simulation kernel's hot
+paths and records them in a JSON file so perf regressions are visible
+across PRs (see docs/simulation.md).  ``lint`` runs the
+static-analysis passes — purity verification of registered compute
+functions, composition linting, whole-composition dataflow analysis
+(RACE/CON/COST), scenario-spec validation (SCN), and the determinism
+self-lint over ``src/repro`` itself (see docs/static_analysis.md).
+Re-lints replay unchanged results from ``.repro_lint_cache.json``.
 """
 
 from __future__ import annotations
@@ -51,25 +61,38 @@ from .experiments import (
     run_table1,
 )
 
+# name -> (defining module under repro.experiments, runner or None for
+# multi-table/CLI-special experiments).  `list` descriptions are the
+# modules' docstring first lines — one source of truth.
 EXPERIMENTS = {
-    "table1": ("Table 1: sandbox latency breakdown (Morello + Linux)", None),
-    "fig1": ("Fig 1: Knative committed vs active memory (Azure trace)", run_fig01),
-    "fig2": ("Fig 2: Firecracker tail latency vs % hot requests", run_fig02),
-    "fig5": ("Fig 5: sandbox-creation throughput, 0% hot", run_fig05),
-    "fig6": ("Fig 6: 128x128 matmul throughput, 16 cores", run_fig06),
-    "sec61": ("§6.1: fault tolerance, goodput/p99 under injected faults", run_sec61),
-    "sec62": ("§6.2: scheduling policy sweep, goodput/p99 vs fleet size", run_sec62),
-    "sec63": ("§6.3: gray failures, limplock severity vs latency/hedging detectors", run_sec63),
-    "sec74": ("§7.4: composition overhead vs chain depth", run_sec74),
-    "fig7": ("Fig 7: compute/comm split vs D-hybrid", run_fig07),
-    "fig8": ("Fig 8: multiplexing mixed apps under bursty load", run_fig08),
-    "fig9": ("Fig 9: SSB queries vs Athena", None),
-    "fig9scale": ("§7.7 scaling: large inputs, 1..N Dandelion nodes vs Athena", run_fig09_scaling),
-    "sec77": ("§7.7: Text2SQL workflow breakdown", run_sec77),
-    "fig10": ("Fig 10: Azure trace, Dandelion vs FC+Knative", run_fig10),
-    "fig10full": ("Fig 10 at 100x trace scale via the sharded simulator", None),
-    "sec8": ("§8: TCB sizes + live enforcement checks", None),
+    "table1": ("table1_breakdown", None),
+    "fig1": ("fig01_fig10_azure", run_fig01),
+    "fig2": ("fig02_hot_ratio", run_fig02),
+    "fig5": ("fig05_creation_throughput", run_fig05),
+    "fig6": ("fig06_matmul_throughput", run_fig06),
+    "sec61": ("sec61_fault_tolerance", run_sec61),
+    "sec62": ("sec62_scheduling", run_sec62),
+    "sec63": ("sec63_gray_failures", run_sec63),
+    "sec74": ("sec74_composition_chain", run_sec74),
+    "fig7": ("fig07_split_benefit", run_fig07),
+    "fig8": ("fig08_multiplexing", run_fig08),
+    "fig9": ("fig09_ssb_athena", None),
+    "fig9scale": ("fig09_scaling", run_fig09_scaling),
+    "sec77": ("sec77_text2sql", run_sec77),
+    "fig10": ("fig01_fig10_azure", run_fig10),
+    "fig10full": ("fig10_full", None),
+    "sec8": ("sec8_security", None),
 }
+
+
+def experiment_description(name: str) -> str:
+    """First docstring line of the experiment's defining module."""
+    from importlib import import_module
+
+    module_name, _runner = EXPERIMENTS[name]
+    module = import_module(f".experiments.{module_name}", __package__)
+    doc = (module.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else "(no description)"
 
 
 def _run_one(name: str, args) -> None:
@@ -108,7 +131,7 @@ def _run_one(name: str, args) -> None:
     elif name in ("fig1", "fig10"):
         from .experiments.common import ascii_chart
 
-        _description, runner = EXPERIMENTS[name]
+        _module, runner = EXPERIMENTS[name]
         result = runner()
         print(result.render())
         if name == "fig1":
@@ -121,9 +144,122 @@ def _run_one(name: str, args) -> None:
             print()
             print(ascii_chart(values, label=f"{label} over the trace window"))
     else:
-        _description, runner = EXPERIMENTS[name]
+        _module, runner = EXPERIMENTS[name]
         print(runner().render())
     print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+
+
+def _parse_assignments(pairs, what: str) -> dict:
+    """``["a.b=1", ...]`` → ``{"a.b": typed value}`` (scenario CLI)."""
+    from .scenario.sweep import parse_axis_value, resolve_axis
+
+    out = {}
+    for pair in pairs:
+        key, eq, value = pair.partition("=")
+        if not eq or not key.strip():
+            raise SystemExit(f"{what} {pair!r}: expected KEY=VALUE")
+        out[resolve_axis(key.strip())] = parse_axis_value(value)
+    return out
+
+
+def _scenario_command(args) -> int:
+    import json
+
+    from .scenario import (
+        KpiRecord,
+        MATRIX_SCHEMA,
+        SpecError,
+        bundled_specs,
+        diff_matrices,
+        diff_records,
+        load_spec,
+        parse_axis_argument,
+        run_scenario,
+        run_sweep,
+    )
+
+    if args.action == "list":
+        for name in bundled_specs():
+            spec = load_spec(name)
+            print(f"{name:12} {spec.description or '(no description)'}")
+        return 0
+
+    if args.action == "diff":
+        tolerances = {
+            key: float(value) for key, value in
+            _parse_assignments(args.tolerances, "--tolerance").items()
+        }
+        with open(args.old, "r", encoding="utf-8") as handle:
+            old = json.load(handle)
+        with open(args.new, "r", encoding="utf-8") as handle:
+            new = json.load(handle)
+        if old.get("schema") == MATRIX_SCHEMA or new.get("schema") == MATRIX_SCHEMA:
+            ok = True
+            for label, diff in diff_matrices(old, new, tolerances):
+                if diff is None:
+                    print(f"{label}: arm present on only one side")
+                    ok = False
+                    continue
+                print(f"{label}: {diff.render()}")
+                ok = ok and diff.ok
+        else:
+            diff = diff_records(
+                KpiRecord.from_dict(old), KpiRecord.from_dict(new), tolerances
+            )
+            print(diff.render())
+            ok = diff.ok
+        print("diff: OK" if ok else "diff: FAILED")
+        return 0 if ok else 1
+
+    # run / sweep share spec loading and --set base overrides.
+    try:
+        spec = load_spec(args.spec)
+        overrides = _parse_assignments(args.overrides, "--set")
+        if overrides:
+            spec = spec.with_overrides(overrides)
+    except (SpecError, OSError) as exc:
+        print(f"scenario: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "run":
+        run = run_scenario(
+            spec, shards=args.shards, executor=args.executor, engine=args.engine
+        )
+        text = run.kpis.to_json()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"KPI record written to {args.output}")
+        sys.stdout.write(text)
+        return 0
+
+    # sweep
+    try:
+        axes = [parse_axis_argument(axis) for axis in args.axes]
+        matrix = run_sweep(
+            spec, axes,
+            shards=args.shards, executor=args.executor, engine=args.engine,
+        )
+    except SpecError as exc:
+        print(f"scenario sweep: {exc}", file=sys.stderr)
+        return 2
+    from .experiments.common import render_table
+
+    axis_names = [entry["axis"] for entry in matrix["axes"]]
+    kpi_columns = ["goodput_rps", "success_pct", "p50_ms", "p99_ms", "cost_usd"]
+    rows = [
+        {**record["arm"],
+         **{column: record["kpis"][column] for column in kpi_columns}}
+        for record in matrix["records"]
+    ]
+    print(f"== scenario sweep: {spec.name} ({len(rows)} arms) ==")
+    print(render_table(axis_names + kpi_columns, rows))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(matrix, handle, indent=2)
+            handle.write("\n")
+        print(f"KPI matrix written to {args.output}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -158,6 +294,64 @@ def main(argv=None) -> int:
     run_parser.add_argument(
         "--executor", choices=("auto", "serial", "process"), default="auto",
         help="fig10full: shard executor (default auto: process when CPUs allow)",
+    )
+    scenario_parser = subparsers.add_parser(
+        "scenario",
+        help="declarative scenario harness: run/sweep/diff spec files "
+             "(docs/scenarios.md)",
+    )
+    scenario_subparsers = scenario_parser.add_subparsers(
+        dest="action", required=True
+    )
+    scenario_subparsers.add_parser("list", help="list bundled scenario specs")
+    for action in ("run", "sweep"):
+        action_parser = scenario_subparsers.add_parser(
+            action,
+            help=(
+                "run one spec, print its KPI record as JSON" if action == "run"
+                else "cross-product axis sweep, print/write a KPI matrix"
+            ),
+        )
+        action_parser.add_argument(
+            "spec", help="bundled spec name (see `scenario list`) or TOML path"
+        )
+        action_parser.add_argument(
+            "--set", dest="overrides", action="append", default=[],
+            metavar="KEY=VALUE",
+            help="override a spec field (dotted path or axis alias), repeatable",
+        )
+        if action == "sweep":
+            action_parser.add_argument(
+                "--axis", dest="axes", action="append", default=[],
+                metavar="NAME=V1,V2,...", required=True,
+                help="sweep axis (alias like policy/fleet or dotted path); "
+                     "first axis is outermost",
+            )
+        action_parser.add_argument(
+            "--output", default=None,
+            help="also write the KPI record/matrix JSON to this path",
+        )
+        action_parser.add_argument(
+            "--shards", type=int, default=1,
+            help="streamed specs: shard count (KPIs invariant; default 1)",
+        )
+        action_parser.add_argument(
+            "--executor", choices=("auto", "serial", "process"), default="auto",
+            help="streamed specs: shard executor (default auto)",
+        )
+        action_parser.add_argument(
+            "--engine", choices=("lean", "classic"), default="lean",
+            help="streamed specs: shard kernel (default lean)",
+        )
+    diff_parser = scenario_subparsers.add_parser(
+        "diff", help="compare two KPI records/matrices within tolerance bands"
+    )
+    diff_parser.add_argument("old", help="baseline KPI record/matrix JSON")
+    diff_parser.add_argument("new", help="candidate KPI record/matrix JSON")
+    diff_parser.add_argument(
+        "--tolerance", dest="tolerances", action="append", default=[],
+        metavar="METRIC=FRACTION",
+        help="override a relative tolerance band (e.g. p99_ms=0.3), repeatable",
     )
     bench_parser = subparsers.add_parser(
         "bench", help="benchmark the simulation kernel, emit a JSON report"
@@ -194,14 +388,19 @@ def main(argv=None) -> int:
         help="whole-composition dataflow analysis (RACE/CON/COST codes)",
     )
     lint_parser.add_argument(
+        "--scenarios", dest="lint_scenarios", action="store_true",
+        help="scenario-spec validation over bundled + given specs (SCN codes)",
+    )
+    lint_parser.add_argument(
         "--only", dest="lint_only", nargs="+", default=None, metavar="PASS",
-        choices=("self", "functions", "compositions", "dataflow"),
+        choices=("self", "functions", "compositions", "dataflow", "scenarios"),
         help="run exactly the named passes (overrides the scope flags)",
     )
     lint_parser.add_argument(
         "paths", nargs="*",
         help="files scanned for embedded composition blocks "
-             "(with --compositions/--dataflow)",
+             "(with --compositions/--dataflow) or scenario specs "
+             "(*.toml, with --scenarios)",
     )
     lint_parser.add_argument(
         "--format", dest="output_format",
@@ -241,21 +440,25 @@ def main(argv=None) -> int:
             run_functions = "functions" in selected
             run_compositions = "compositions" in selected
             run_dataflow = "dataflow" in selected
+            run_scenarios = "scenarios" in selected
         else:
             # With no scope flags, run every pass.
             any_scope = (
                 args.lint_self or args.lint_functions
                 or args.lint_compositions or args.lint_dataflow
+                or args.lint_scenarios
             )
             run_self = args.lint_self or not any_scope
             run_functions = args.lint_functions or not any_scope
             run_compositions = args.lint_compositions or not any_scope
             run_dataflow = args.lint_dataflow or not any_scope
+            run_scenarios = args.lint_scenarios or not any_scope
         code, report = run_lint(
             lint_self_pass=run_self,
             lint_functions=run_functions,
             lint_compositions=run_compositions,
             lint_dataflow=run_dataflow,
+            lint_scenarios=run_scenarios,
             paths=args.paths,
             output_format=args.output_format,
             strict=args.strict,
@@ -303,9 +506,12 @@ def main(argv=None) -> int:
         print(f"[bench finished in {time.time() - started:.1f}s]")
         return 0
 
+    if args.command == "scenario":
+        return _scenario_command(args)
+
     if args.command == "list":
-        for name, (description, _runner) in EXPERIMENTS.items():
-            print(f"{name:8} {description}")
+        for name in EXPERIMENTS:
+            print(f"{name:10} {experiment_description(name)}")
         return 0
 
     names = list(EXPERIMENTS) if args.names == ["all"] else args.names

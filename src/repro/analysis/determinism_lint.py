@@ -72,6 +72,10 @@ HOT_PATH_MODULES = (
     "sched/sandbox.py",
     "sched/scaling.py",
     "sched/cores.py",
+    "scenario/spec.py",
+    "scenario/engine.py",
+    "scenario/kpis.py",
+    "scenario/sweep.py",
 )
 
 _EXEMPT_BASE_HINTS = ("Error", "Exception", "Warning", "Enum", "Protocol", "ABC")

@@ -1,9 +1,9 @@
 """The ``python -m repro lint`` driver.
 
-Collects diagnostics across the four passes (determinism self-lint,
-function purity, composition lint, whole-composition dataflow),
-applies the checked-in baseline, renders text/JSON/SARIF, and computes
-the exit code:
+Collects diagnostics across the five passes (determinism self-lint,
+function purity, composition lint, whole-composition dataflow,
+scenario-spec validation), applies the checked-in baseline, renders
+text/JSON/SARIF, and computes the exit code:
 
 - default mode fails (exit 1) on any *new* error-severity finding;
 - ``--strict`` fails on any new finding at all, and additionally on
@@ -61,6 +61,7 @@ PASS_CODE_PREFIXES = {
     "functions": ("PUR",),
     "compositions": ("CMP",),
     "dataflow": ("RACE", "CON", "COST"),
+    "scenarios": ("SCN",),
 }
 
 
@@ -161,6 +162,7 @@ def collect_diagnostics(
     lint_functions: bool = True,
     lint_compositions: bool = True,
     lint_dataflow: bool = False,
+    lint_scenarios: bool = False,
     paths: Optional[list[str]] = None,
     registry=None,
     cache: Optional[AnalysisCache] = None,
@@ -222,8 +224,33 @@ def collect_diagnostics(
     if (lint_compositions or lint_dataflow) and paths:
         diagnostics.extend(
             _lint_paths(
-                paths, registry, cache, module_texts,
+                [p for p in paths if not p.endswith(".toml")],
+                registry, cache, module_texts,
                 compositions=lint_compositions, dataflow=lint_dataflow,
+            )
+        )
+    if lint_scenarios:
+        diagnostics.extend(_lint_scenarios(paths, cache))
+    return diagnostics
+
+
+def _lint_scenarios(paths, cache) -> list:
+    """SCN pass: bundled scenario specs plus any ``*.toml`` paths."""
+    from .scenario_lint import iter_bundled_specs, lint_scenario_text
+
+    sources = list(iter_bundled_specs())
+    for path in paths or ():
+        if not path.endswith(".toml"):
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            sources.append((path.replace(os.sep, "/"), handle.read()))
+    diagnostics: list[Diagnostic] = []
+    for reported, text in sources:
+        fingerprint = AnalysisCache.pass_fingerprint("scenarios", reported, text)
+        diagnostics.extend(
+            _cached_pass(
+                cache, "scenarios", reported, fingerprint,
+                lambda t=text, r=reported: lint_scenario_text(t, r),
             )
         )
     return diagnostics
@@ -301,7 +328,8 @@ def _registry_salt(registry, module_texts) -> Optional[str]:
 
 
 def _ran_prefixes(
-    lint_self_pass, lint_functions, lint_compositions, lint_dataflow
+    lint_self_pass, lint_functions, lint_compositions, lint_dataflow,
+    lint_scenarios=False,
 ) -> tuple:
     prefixes: list[str] = []
     if lint_self_pass:
@@ -312,6 +340,8 @@ def _ran_prefixes(
         prefixes += PASS_CODE_PREFIXES["compositions"]
     if lint_dataflow:
         prefixes += PASS_CODE_PREFIXES["dataflow"]
+    if lint_scenarios:
+        prefixes += PASS_CODE_PREFIXES["scenarios"]
     return tuple(prefixes)
 
 
@@ -321,6 +351,7 @@ def run_lint(
     lint_functions: bool,
     lint_compositions: bool,
     lint_dataflow: bool = False,
+    lint_scenarios: bool = False,
     paths: Optional[list[str]] = None,
     output_format: str = "text",
     strict: bool = False,
@@ -335,13 +366,15 @@ def run_lint(
         lint_functions=lint_functions,
         lint_compositions=lint_compositions,
         lint_dataflow=lint_dataflow,
+        lint_scenarios=lint_scenarios,
         paths=paths,
         cache=cache,
     )
     if cache is not None:
         cache.save()
     prefixes = _ran_prefixes(
-        lint_self_pass, lint_functions, lint_compositions, lint_dataflow
+        lint_self_pass, lint_functions, lint_compositions, lint_dataflow,
+        lint_scenarios,
     )
     path = baseline_path or DEFAULT_BASELINE_PATH
     if write_baseline:

@@ -688,6 +688,46 @@ def bench_lint_incremental_warm() -> dict:
     }
 
 
+def bench_spec_parse(count: int = 2_000) -> dict:
+    """Scenario-spec TOML parse + schema validation throughput.
+
+    Parses the bundled §6.2 spec (the busiest schema: every section
+    populated) ``count`` times; a slow parser would make sweeps and the
+    SCN lint pass drag on spec-heavy repos.
+    """
+    from ..scenario.spec import bundled_specs, scenario_from_toml
+
+    with open(bundled_specs()["sec62"], "r", encoding="utf-8") as handle:
+        text = handle.read()
+
+    def run() -> int:
+        for _ in range(count):
+            scenario_from_toml(text)
+        return count
+
+    return _timed(run)
+
+
+def bench_scenario_assembly(count: int = 100) -> dict:
+    """Scenario-engine assembly overhead: spec → cluster + injector.
+
+    Builds the full §6.1 topology (fleet, registered workload,
+    dispatcher, fault injector) per operation — the fixed cost every
+    sweep arm pays before its first simulated event.
+    """
+    from ..scenario.engine import assemble_cluster
+    from ..scenario.spec import load_spec
+
+    spec = load_spec("sec61")
+
+    def run() -> int:
+        for _ in range(count):
+            assemble_cluster(spec)
+        return count
+
+    return _timed(run)
+
+
 def bench_fig05_full() -> float:
     from .fig05_creation_throughput import run_fig05
 
@@ -752,6 +792,10 @@ BENCH_GROUPS: "dict[str, Callable[[], dict]]" = {
         "self_lint_sweep": bench_self_lint(),
         "dataflow_analyze_corpus": bench_dataflow_corpus(),
         "lint_incremental_warm": bench_lint_incremental_warm(),
+    },
+    "scenario": lambda: {
+        "spec_parse_validate_2k": bench_spec_parse(),
+        "engine_assembly_100": bench_scenario_assembly(),
     },
     "fig05_reduced": lambda: {"seconds": round(bench_fig05_reduced(), 4)},
     "trace_scale": _bench_trace_scale_group,

@@ -8,6 +8,7 @@ paper reports, and the benchmark suite snapshots these outputs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -31,6 +32,25 @@ def fmt(value, digits: int = 3) -> str:
             return f"{value:.2e}"
         return f"{value:.{digits}g}"
     return str(value)
+
+
+def _cell_matches(cell, value) -> bool:
+    """Raw-value row matching: tolerant for floats, exact otherwise."""
+    if isinstance(cell, bool) or isinstance(value, bool):
+        return cell == value
+    float_pair = (
+        isinstance(cell, (int, float))
+        and isinstance(value, (int, float))
+        and (isinstance(cell, float) or isinstance(value, float))
+    )
+    if float_pair:
+        if math.isnan(value) or (isinstance(cell, float) and math.isnan(cell)):
+            return (
+                isinstance(cell, float) and math.isnan(cell)
+                and math.isnan(value)
+            )
+        return math.isclose(cell, value, rel_tol=1e-9, abs_tol=1e-12)
+    return cell == value
 
 
 def render_table(headers: list[str], rows: Iterable[dict]) -> str:
@@ -75,9 +95,15 @@ class ExperimentResult:
         self.notes.append(text)
 
     def row(self, **criteria) -> dict:
-        """First row matching all key=value criteria."""
+        """First row matching all key=value criteria.
+
+        Matches on *raw* cell values: floats compare with
+        ``math.isclose`` (so a swept axis like ``x=0.1 + 0.2`` is
+        findable as ``row(x=0.3)``; NaN matches NaN), ints and
+        everything else compare exactly.
+        """
         for row in self.rows:
-            if all(row.get(k) == v for k, v in criteria.items()):
+            if all(_cell_matches(row.get(k), v) for k, v in criteria.items()):
                 return row
         raise KeyError(f"no row matching {criteria}")
 

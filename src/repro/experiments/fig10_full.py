@@ -15,11 +15,19 @@ trace-scale smoke job asserts.  Everything wall-clock — per-shard event
 counts, sync-barrier stall, coordinator wall seconds — lands in
 ``result.meta`` so scaling losses are diagnosable from the result
 record alone without ever touching the deterministic output.
+
+Since the `repro.scenario` refactor the replay itself goes through
+:func:`~repro.scenario.engine.run_scenario` on a streamed-trace
+:class:`~repro.scenario.spec.ScenarioSpec` (bundled as
+``scenario/specs/fig10_full.toml``), one run per platform arm;
+``shards``/``executor``/``engine`` stay engine-call knobs because the
+KPIs are invariant to them.
 """
 
 from __future__ import annotations
 
-from ..sim.sharded import ShardedConfig, run_sharded_replay
+from ..scenario.engine import run_scenario
+from ..scenario.spec import FleetSpec, ScenarioSpec, TraceSpec
 from ..trace.stream import streamed_trace
 from .common import ExperimentResult
 
@@ -54,6 +62,31 @@ def _fleet_for(scale: float) -> tuple[int, int]:
     return workers, 64
 
 
+def _base_spec(
+    scale: float,
+    workers: int,
+    cores_per_worker: int,
+    window_seconds: float,
+    seed: int,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig10_full",
+        seed=seed,
+        trace=TraceSpec(
+            kind="streamed",
+            duration_seconds=BASE_DURATION_SECONDS,
+            # Historical convention: the streamed trace reuses the run
+            # seed directly (no +17 arrival-stream offset).
+            seed_offset=0,
+            scale=scale,
+            functions_base=BASE_FUNCTIONS,
+            rps_base=BASE_TOTAL_RPS,
+            window_seconds=window_seconds,
+        ),
+        fleet=FleetSpec(workers=workers, cores=cores_per_worker),
+    )
+
+
 def run_fig10_full(
     scale: float = 100.0,
     shards: int = 4,
@@ -69,26 +102,24 @@ def run_fig10_full(
     cores_per_worker = (
         cores_per_worker if cores_per_worker is not None else default_cores
     )
-    trace = full_trace(scale, seed)
+    base = _base_spec(scale, workers, cores_per_worker, window_seconds, seed)
     reports = {}
+    function_count = None
     for platform in ("dandelion", "faas"):
-        config = ShardedConfig(
-            workers=workers,
-            cores_per_worker=cores_per_worker,
+        run = run_scenario(
+            base.with_overrides({"fleet.platform": platform}),
             shards=shards,
-            window_seconds=window_seconds,
-            platform=platform,
-            engine=engine,
             executor=executor,
-            seed=seed,
+            engine=engine,
         )
-        reports[platform] = run_sharded_replay(trace, config)
+        reports[platform] = run.report
+        function_count = run.meta["function_count"]
 
     result = ExperimentResult(
         name="Fig 10 (full scale)",
         description=(
             f"Azure trace at {scale:g}x sample scale "
-            f"({trace.function_count} functions, {workers}x{cores_per_worker} cores): "
+            f"({function_count} functions, {workers}x{cores_per_worker} cores): "
             "Dandelion vs Firecracker+Knative"
         ),
         headers=[

@@ -18,87 +18,55 @@ levels and measures how goodput and tail latency degrade:
 All randomness is seeded, so the same seed reproduces the same report
 byte for byte; at fault rate 0 the run takes the no-retry fast path and
 behaves exactly like a fault-free cluster.
+
+Since the `repro.scenario` refactor this module is a thin wrapper: it
+builds one base :class:`~repro.scenario.spec.ScenarioSpec` (also
+bundled as ``scenario/specs/sec61.toml``), sweeps the fault axes via
+spec overrides through :func:`~repro.scenario.engine.run_scenario`,
+and renders the rows from each run's KpiRecord.
 """
 
 from __future__ import annotations
 
-from ..cluster.faults import WorkerFaultInjector
-from ..cluster.manager import ClusterManager
-from ..functions.sdk import compute_function
-from ..sim.distributions import Rng
-from ..worker import WorkerConfig
+from ..scenario.engine import run_scenario
+from ..scenario.spec import (
+    FaultSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SchedSpec,
+    TraceSpec,
+    WorkloadSpec,
+)
 from .common import ExperimentResult
 
 __all__ = ["run_sec61"]
-
-_COMPOSITION = """
-composition ft_echo {
-    compute e uses ft_echo_fn in(data) out(result);
-    input data -> e.data;
-    output e.result -> result;
-}
-"""
 
 # Per-invocation deadline: generous against the ~1 ms service time, so
 # only genuinely stuck work (crashed engines, lost exchanges) hits it.
 _DEADLINE_SECONDS = 0.25
 
 
-def _echo_binary():
-    @compute_function(name="ft_echo_fn", compute_cost=4e-3)
-    def ft_echo_fn(vfs):
-        vfs.write_bytes("/out/result/data", vfs.read_bytes("/in/data/data"))
-
-    return ft_echo_fn
-
-
-def _make_cluster(
-    workers: int, cores: int, transient_rate: float, seed: int
-) -> ClusterManager:
-    config = WorkerConfig(
-        total_cores=cores,
-        control_plane_enabled=False,
-        transient_failure_rate=transient_rate,
-        max_retries=3,
-        default_timeout=_DEADLINE_SECONDS,
+def _base_spec(
+    rps: float,
+    duration_seconds: float,
+    workers: int,
+    cores: int,
+    mttr_seconds: float,
+    seed: int,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="sec61",
         seed=seed,
+        trace=TraceSpec(rps=rps, duration_seconds=duration_seconds),
+        workload=WorkloadSpec(name="ft_echo", compute_seconds=4e-3),
+        fleet=FleetSpec(workers=workers, cores=cores),
+        faults=FaultSpec(
+            max_retries=3,
+            deadline_seconds=_DEADLINE_SECONDS,
+            mttr_seconds=mttr_seconds,
+        ),
+        sched=SchedSpec(routing="least_loaded"),
     )
-    cluster = ClusterManager(
-        worker_count=workers,
-        worker_config=config,
-        policy="least_loaded",
-        seed=seed,
-    )
-    cluster.register_function(_echo_binary())
-    cluster.register_composition(_COMPOSITION)
-    return cluster
-
-
-def _drive(cluster: ClusterManager, rps: float, duration_seconds: float, seed: int):
-    """Poisson arrivals against the cluster; returns (offered, completed)."""
-    env = cluster.env
-    arrivals = Rng(seed).poisson_arrivals(rps, duration_seconds)
-    completed = [0]
-
-    def one(arrive_at):
-        delay = arrive_at - env.now
-        if delay > 0:
-            yield env.timeout(delay)
-        result = yield cluster.invoke("ft_echo", {"data": b"ping"})
-        if result.ok:
-            completed[0] += 1
-
-    def driver():
-        processes = [env.process(one(t)) for t in arrivals]
-        if processes:
-            yield env.all_of(processes)
-
-    env.run(until=env.process(driver()))
-    return len(arrivals), completed[0]
-
-
-def _cluster_retries(cluster: ClusterManager) -> int:
-    return sum(worker.dispatcher.retries_performed for worker in cluster.workers)
 
 
 def run_sec61(
@@ -128,42 +96,36 @@ def run_sec61(
             "p99_ms",
         ],
     )
+    base = _base_spec(rps, duration_seconds, workers, cores, mttr_seconds, seed)
 
-    def add_row(scenario, fault_rate, mttf_label, cluster, offered, completed):
-        stats = cluster.stats()["failures"]
-        have_latencies = len(cluster.latencies) > 0
+    def add_row(scenario, fault_rate, mttf_label, kpis):
         result.add_row(
             scenario=scenario,
             fault_rate=fault_rate,
             mttf_s=mttf_label,
-            crashes=stats["worker_crashes"],
-            reroutes=stats["reroutes"],
-            retries=_cluster_retries(cluster),
-            offered=offered,
-            goodput_rps=completed / duration_seconds,
-            success_pct=100.0 * completed / offered if offered else 100.0,
-            p50_ms=cluster.latencies.median * 1e3 if have_latencies else float("nan"),
-            p99_ms=cluster.latencies.p99 * 1e3 if have_latencies else float("nan"),
+            crashes=kpis.counters["crashes"],
+            reroutes=kpis.counters["reroutes"],
+            retries=kpis.counters["retries"],
+            offered=kpis.offered,
+            goodput_rps=kpis.goodput_rps,
+            success_pct=kpis.success_pct,
+            p50_ms=kpis.p50_ms,
+            p99_ms=kpis.p99_ms,
         )
 
     # Sweep 1: transient engine faults, absorbed by backoff retries.
     for rate in transient_rates:
-        cluster = _make_cluster(workers, cores, rate, seed)
-        offered, completed = _drive(cluster, rps, duration_seconds, seed + 17)
-        add_row("transient", rate, "-", cluster, offered, completed)
+        run = run_scenario(
+            base.with_overrides({"faults.transient_rate": rate})
+        )
+        add_row("transient", rate, "-", run.kpis)
 
     # Sweep 2: fail-stop worker crashes, absorbed by re-routing.
     for mttf in mttf_sweep:
-        cluster = _make_cluster(workers, cores, 0.0, seed)
-        injector = WorkerFaultInjector(
-            cluster,
-            mttf_seconds=mttf,
-            mttr_seconds=mttr_seconds,
-            seed=seed + 29,
+        run = run_scenario(
+            base.with_overrides({"faults.mttf_seconds": mttf})
         )
-        offered, completed = _drive(cluster, rps, duration_seconds, seed + 17)
-        add_row("fail-stop", 0.0, mttf, cluster, offered, completed)
-        del injector
+        add_row("fail-stop", 0.0, mttf, run.kpis)
 
     baseline = result.rows[0]
     result.note(

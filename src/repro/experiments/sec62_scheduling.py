@@ -26,15 +26,26 @@ What the sweep shows:
 Every run is deterministic per seed: the same arrival times and the
 same app popularity draws are replayed against every policy × fleet
 size cell, so the cells differ only in placement decisions.
+
+Since the `repro.scenario` refactor this module is a thin wrapper
+over one base :class:`~repro.scenario.spec.ScenarioSpec` (bundled as
+``scenario/specs/sec62.toml``) swept across ``sched.routing`` ×
+``fleet.workers`` — exactly what ``python -m repro scenario sweep
+sec62 --axis policy=... --axis fleet=4,8,16`` runs from the CLI; the
+``reseed_per_fleet`` trace knob keeps the request stream pinned per
+fleet size.
 """
 
 from __future__ import annotations
 
-from ..cluster.manager import ClusterManager
-from ..functions.sdk import compute_function
-from ..sched.routing import ROUTING_POLICIES
-from ..sim.distributions import Rng
-from ..worker import WorkerConfig
+from ..scenario.engine import run_scenario
+from ..scenario.spec import (
+    FleetSpec,
+    ScenarioSpec,
+    SchedSpec,
+    TraceSpec,
+    WorkloadSpec,
+)
 from .common import ExperimentResult
 
 __all__ = ["run_sec62"]
@@ -48,105 +59,40 @@ MiB = 1024 * 1024
 # each invocation.
 _BINARY_BYTES = 64 * MiB
 
-_COMPOSITION_TEMPLATE = """
-composition {comp} {{
-    compute stage uses {fn} in(data) out(result);
-    input data -> stage.data;
-    output stage.result -> result;
-}}
-"""
-
-
-def _app_binary(index: int, compute_seconds: float):
-    @compute_function(
-        name=f"sched_app_fn_{index}",
-        compute_cost=compute_seconds,
-        binary_size=_BINARY_BYTES,
-    )
-    def sched_app(vfs):
-        vfs.write_bytes("/out/result/data", vfs.read_bytes("/in/data/data"))
-
-    return sched_app
-
-
-def _make_cluster(policy: str, workers: int, cores: int, apps: int,
-                  compute_seconds: float, seed: int) -> ClusterManager:
-    cluster = ClusterManager(
-        worker_count=workers,
-        worker_config=WorkerConfig(
-            total_cores=cores, control_plane_enabled=False, seed=seed
-        ),
-        policy=policy,
-        seed=seed,
-    )
-    for index in range(apps):
-        cluster.register_function(_app_binary(index, compute_seconds))
-        cluster.register_composition(
-            _COMPOSITION_TEMPLATE.format(
-                comp=f"sched_app_{index}", fn=f"sched_app_fn_{index}"
-            )
-        )
-    return cluster
-
-
-def _trace(apps: int, rps: float, duration_seconds: float, zipf_skew: float,
-           seed: int) -> list:
-    """Deterministic (time, app index) request stream, Zipf-popular."""
-    arrival_rng = Rng(seed)
-    app_rng = Rng(seed).fork(1)
-    weights = arrival_rng.zipf_weights(apps, zipf_skew)
-    cumulative = []
-    total = 0.0
-    for weight in weights:
-        total += weight
-        cumulative.append(total)
-    arrivals = arrival_rng.poisson_arrivals(rps, duration_seconds)
-    requests = []
-    for arrive_at in arrivals:
-        draw = app_rng.uniform()
-        app = next(
-            index for index, edge in enumerate(cumulative) if draw <= edge
-        )
-        requests.append((arrive_at, app))
-    return requests
-
-
-def _drive(cluster: ClusterManager, requests: list) -> tuple[int, int]:
-    env = cluster.env
-    completed = [0]
-
-    def one(arrive_at, app):
-        delay = arrive_at - env.now
-        if delay > 0:
-            yield env.timeout(delay)
-        result = yield cluster.invoke(f"sched_app_{app}", {"data": b"ping"})
-        if result.ok:
-            completed[0] += 1
-
-    def driver():
-        processes = [env.process(one(t, app)) for t, app in requests]
-        if processes:
-            yield env.all_of(processes)
-
-    env.run(until=env.process(driver()))
-    return len(requests), completed[0]
-
-
-def _imbalance(cluster: ClusterManager) -> float:
-    """Peak-to-mean ratio of per-worker routed invocations."""
-    counts = [cluster.per_worker_invocations[i] for i in range(len(cluster.workers))]
-    total = sum(counts)
-    if not counts or total == 0:
-        return float("nan")
-    mean = total / len(counts)
-    return max(counts) / mean
-
-
 # The §6.2 sweep compares the load-balancing family; the "gray"
 # quarantine policy is a fault-domain defense benchmarked in §6.3, so
 # the default arm list is pinned (not tuple(ROUTING_POLICIES)) to keep
 # this experiment's committed output stable as the registry grows.
 _SEC62_POLICIES = ("round_robin", "least_loaded", "random", "jsq", "locality")
+
+
+def _base_spec(
+    rps_per_worker: float,
+    duration_seconds: float,
+    apps: int,
+    zipf_skew: float,
+    cores: int,
+    compute_seconds: float,
+    seed: int,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="sec62",
+        seed=seed,
+        trace=TraceSpec(
+            rps_per_worker=rps_per_worker,
+            duration_seconds=duration_seconds,
+            apps=apps,
+            zipf_skew=zipf_skew,
+            reseed_per_fleet=True,
+        ),
+        workload=WorkloadSpec(
+            name="sched_app",
+            compute_seconds=compute_seconds,
+            binary_mib=_BINARY_BYTES / MiB,
+        ),
+        fleet=FleetSpec(cores=cores),
+        sched=SchedSpec(routing="least_loaded"),
+    )
 
 
 def run_sec62(
@@ -175,24 +121,26 @@ def run_sec62(
             "imbalance",
         ],
     )
+    base = _base_spec(
+        rps_per_worker, duration_seconds, apps, zipf_skew, cores,
+        compute_seconds, seed,
+    )
     for workers in fleet_sizes:
-        rps = rps_per_worker * workers
-        requests = _trace(apps, rps, duration_seconds, zipf_skew, seed + workers)
         for policy in policies:
-            cluster = _make_cluster(
-                policy, workers, cores, apps, compute_seconds, seed
-            )
-            offered, completed = _drive(cluster, requests)
-            have_latencies = len(cluster.latencies) > 0
+            run = run_scenario(base.with_overrides({
+                "fleet.workers": workers,
+                "sched.routing": policy,
+            }))
+            kpis = run.kpis
             result.add_row(
                 policy=policy,
                 workers=workers,
-                offered_rps=offered / duration_seconds,
-                goodput_rps=completed / duration_seconds,
-                success_pct=100.0 * completed / offered if offered else 100.0,
-                p50_ms=cluster.latencies.median * 1e3 if have_latencies else float("nan"),
-                p99_ms=cluster.latencies.p99 * 1e3 if have_latencies else float("nan"),
-                imbalance=_imbalance(cluster),
+                offered_rps=kpis.offered / duration_seconds,
+                goodput_rps=kpis.goodput_rps,
+                success_pct=kpis.success_pct,
+                p50_ms=kpis.p50_ms,
+                p99_ms=kpis.p99_ms,
+                imbalance=kpis.imbalance,
             )
     result.note(
         f"{apps} apps, Zipf skew {zipf_skew}, {_BINARY_BYTES // MiB} MiB binaries "

@@ -29,26 +29,29 @@ The per-invocation deadline is deliberately tight (a few multiples of
 the healthy service time): a severely limping worker pushes its work
 past the deadline, so blindness to gray failure costs *goodput*, not
 just tail latency.  Every run is deterministic per seed.
+
+Since the `repro.scenario` refactor this module is a thin wrapper:
+one base :class:`~repro.scenario.spec.ScenarioSpec` (bundled as
+``scenario/specs/sec63.toml``) swept over ``faults.limp_severity``,
+with each detector arm expressed as sched-section overrides (routing /
+latency_health / hedge) through
+:func:`~repro.scenario.engine.run_scenario`.
 """
 
 from __future__ import annotations
 
-from ..cluster.faults import WorkerFaultInjector
-from ..cluster.manager import ClusterManager
-from ..functions.sdk import compute_function
-from ..sim.distributions import Rng
-from ..worker import WorkerConfig
+from ..scenario.engine import run_scenario
+from ..scenario.spec import (
+    FaultSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SchedSpec,
+    TraceSpec,
+    WorkloadSpec,
+)
 from .common import ExperimentResult
 
 __all__ = ["run_sec63"]
-
-_COMPOSITION = """
-composition gray_echo {
-    compute e uses gray_echo_fn in(data) out(result);
-    input data -> e.data;
-    output e.result -> result;
-}
-"""
 
 # Healthy service time is ~4 ms; the deadline is 5x that.  The severity
 # ladder then crosses two regimes: at 4x the limped worker still beats
@@ -61,65 +64,45 @@ _DEADLINE_SECONDS = 20e-3
 _DETECTORS = ("fail-stop", "latency", "latency+hedge")
 
 
-def _echo_binary():
-    @compute_function(name="gray_echo_fn", compute_cost=_COMPUTE_SECONDS)
-    def gray_echo_fn(vfs):
-        vfs.write_bytes("/out/result/data", vfs.read_bytes("/in/data/data"))
-
-    return gray_echo_fn
-
-
-def _make_cluster(
+def _base_spec(
+    rps: float,
+    duration_seconds: float,
     workers: int,
     cores: int,
-    detector: str,
-    hedge_budget_fraction: float,
+    limp_mttf_seconds: float,
+    limp_duration_seconds: float,
     seed: int,
-) -> ClusterManager:
-    config = WorkerConfig(
-        total_cores=cores,
-        control_plane_enabled=False,
-        max_retries=3,
-        default_timeout=_DEADLINE_SECONDS,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="sec63",
         seed=seed,
+        trace=TraceSpec(rps=rps, duration_seconds=duration_seconds),
+        workload=WorkloadSpec(name="gray_echo", compute_seconds=_COMPUTE_SECONDS),
+        fleet=FleetSpec(workers=workers, cores=cores),
+        faults=FaultSpec(
+            max_retries=3,
+            deadline_seconds=_DEADLINE_SECONDS,
+            # Crash cycles are disabled (astronomical MTTF): this
+            # experiment isolates the gray-failure domain.
+            mttf_seconds=1e9,
+            mttr_seconds=1.0,
+            limp_mttf_seconds=limp_mttf_seconds,
+            limp_duration_seconds=limp_duration_seconds,
+            seed_offset=41,
+        ),
+        sched=SchedSpec(routing="least_loaded"),
     )
+
+
+def _detector_overrides(detector: str, hedge_budget_fraction: float) -> dict:
     with_health = detector != "fail-stop"
-    cluster = ClusterManager(
-        worker_count=workers,
-        worker_config=config,
-        policy="gray" if with_health else "least_loaded",
-        seed=seed,
-        latency_health=with_health,
-        hedge=detector == "latency+hedge",
-        hedge_percentile=95.0,
-        hedge_budget_fraction=hedge_budget_fraction,
-    )
-    cluster.register_function(_echo_binary())
-    cluster.register_composition(_COMPOSITION)
-    return cluster
-
-
-def _drive(cluster: ClusterManager, rps: float, duration_seconds: float, seed: int):
-    """Poisson arrivals against the cluster; returns (offered, completed)."""
-    env = cluster.env
-    arrivals = Rng(seed).poisson_arrivals(rps, duration_seconds)
-    completed = [0]
-
-    def one(arrive_at):
-        delay = arrive_at - env.now
-        if delay > 0:
-            yield env.timeout(delay)
-        result = yield cluster.invoke("gray_echo", {"data": b"ping"})
-        if result.ok:
-            completed[0] += 1
-
-    def driver():
-        processes = [env.process(one(t)) for t in arrivals]
-        if processes:
-            yield env.all_of(processes)
-
-    env.run(until=env.process(driver()))
-    return len(arrivals), completed[0]
+    return {
+        "sched.routing": "gray" if with_health else "least_loaded",
+        "sched.latency_health": with_health,
+        "sched.hedge": detector == "latency+hedge",
+        "sched.hedge_percentile": 95.0,
+        "sched.hedge_budget_fraction": hedge_budget_fraction,
+    }
 
 
 def run_sec63(
@@ -151,36 +134,30 @@ def run_sec63(
             "hedge_rate_pct",
         ],
     )
+    base = _base_spec(
+        rps, duration_seconds, workers, cores,
+        limp_mttf_seconds, limp_duration_seconds, seed,
+    )
 
     for severity in severities:
         for detector in detectors:
-            cluster = _make_cluster(
-                workers, cores, detector, hedge_budget_fraction, seed
+            overrides = {"faults.limp_severity": severity}
+            overrides.update(
+                _detector_overrides(detector, hedge_budget_fraction)
             )
-            injector = WorkerFaultInjector(
-                cluster,
-                # Crash cycles are disabled (astronomical MTTF): this
-                # experiment isolates the gray-failure domain.
-                mttf_seconds=1e9,
-                mttr_seconds=1.0,
-                seed=seed + 41,
-                limp_mttf_seconds=limp_mttf_seconds,
-                limp_duration_seconds=limp_duration_seconds,
-                limp_severity=severity,
-            )
-            offered, completed = _drive(cluster, rps, duration_seconds, seed + 17)
-            gray = cluster.stats()["gray"]
+            run = run_scenario(base.with_overrides(overrides))
+            kpis = run.kpis
             result.add_row(
                 severity=severity,
                 detector=detector,
-                limps=injector.limps_injected,
-                quarantines=gray["quarantine_entries"],
-                offered=offered,
-                goodput_rps=completed / duration_seconds,
-                success_pct=100.0 * completed / offered if offered else 100.0,
-                p50_ms=cluster.latencies.median * 1e3,
-                p99_ms=cluster.latencies.p99 * 1e3,
-                hedge_rate_pct=100.0 * gray["hedge_rate"],
+                limps=kpis.counters["limps"],
+                quarantines=kpis.counters["quarantines"],
+                offered=kpis.offered,
+                goodput_rps=kpis.goodput_rps,
+                success_pct=kpis.success_pct,
+                p50_ms=kpis.p50_ms,
+                p99_ms=kpis.p99_ms,
+                hedge_rate_pct=kpis.counters["hedge_rate_pct"],
             )
 
     result.note(

@@ -1,0 +1,76 @@
+"""Declarative scenario harness + unified KPI pipeline.
+
+``repro.scenario`` turns "add a scenario" from a new Python module
+into a ~20-line TOML spec (ROADMAP item 4).  Three layers:
+
+* :mod:`~repro.scenario.spec` — the validated, seedable
+  :class:`ScenarioSpec` schema (trace × workload × fleet × faults ×
+  sched), canonical TOML/dict round-trip;
+* :mod:`~repro.scenario.engine` — one code path assembling cluster,
+  workload, injector, and request stream from a spec and running it in
+  virtual time (:func:`run_scenario`), shared by the §6.1/§6.2/§6.3
+  experiments and the full-scale Fig 10 replay;
+* :mod:`~repro.scenario.kpis` — the schema-versioned
+  :class:`KpiRecord` each run emits, with tolerance-band
+  :func:`diff_records`/:func:`diff_matrices` for cross-commit
+  comparison, and :mod:`~repro.scenario.sweep` for CLI cross-products.
+
+Bundled specs live in ``scenario/specs/*.toml``; see docs/scenarios.md
+and ``python -m repro scenario list``.
+"""
+
+from .engine import ScenarioRun, assemble_cluster, build_requests, run_scenario
+from .kpis import (
+    KPI_SCHEMA,
+    MATRIX_SCHEMA,
+    KpiDiff,
+    KpiRecord,
+    MetricDelta,
+    diff_matrices,
+    diff_records,
+)
+from .spec import (
+    SPEC_SCHEMA,
+    FaultSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SchedSpec,
+    SpecError,
+    TraceSpec,
+    WorkloadSpec,
+    bundled_specs,
+    load_spec,
+    scenario_from_dict,
+    scenario_from_toml,
+    validate_names,
+)
+from .sweep import parse_axis_argument, run_sweep
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "KPI_SCHEMA",
+    "MATRIX_SCHEMA",
+    "FaultSpec",
+    "FleetSpec",
+    "KpiDiff",
+    "KpiRecord",
+    "MetricDelta",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "SchedSpec",
+    "SpecError",
+    "TraceSpec",
+    "WorkloadSpec",
+    "assemble_cluster",
+    "build_requests",
+    "bundled_specs",
+    "diff_matrices",
+    "diff_records",
+    "load_spec",
+    "parse_axis_argument",
+    "run_scenario",
+    "run_sweep",
+    "scenario_from_dict",
+    "scenario_from_toml",
+    "validate_names",
+]

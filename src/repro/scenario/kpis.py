@@ -1,0 +1,299 @@
+"""Uniform KPI records + tolerance-band diffing (`repro.scenario`).
+
+Every scenario run — synthetic cluster or streamed sharded replay —
+emits one :class:`KpiRecord`: a flat, schema-versioned set of KPIs
+(goodput, latency percentiles, utilization, imbalance, modelled cost)
+plus fault/defense counters, serializable to JSON and byte-identical
+across runs of the same spec + seed (the determinism contract of
+docs/scenarios.md).
+
+:func:`diff_records` compares two records with per-metric *relative*
+tolerance bands and direction awareness: goodput up is an improvement,
+p99 up is a regression, counter drift is a "change".  ``NaN`` is the
+canonical "no samples" value (an arm with zero completions has no
+p50); two NaNs diff as **equal**, a NaN appearing or disappearing is a
+change.  :func:`diff_matrices` lifts the same comparison over sweep
+matrices, matching arms by their override coordinates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+
+__all__ = [
+    "KPI_SCHEMA",
+    "MATRIX_SCHEMA",
+    "CORE_HOUR_USD",
+    "KpiRecord",
+    "MetricDelta",
+    "KpiDiff",
+    "DEFAULT_TOLERANCES",
+    "DEFAULT_COUNTER_TOLERANCE",
+    "diff_records",
+    "diff_matrices",
+]
+
+KPI_SCHEMA = "repro-kpi/v1"
+MATRIX_SCHEMA = "repro-kpi-matrix/v1"
+
+# Modelled fleet cost: a flat on-demand core-hour price (the point is
+# comparability across arms of one sweep, not cloud billing fidelity).
+CORE_HOUR_USD = 0.04
+
+_NAN = float("nan")
+
+
+@dataclass(frozen=True)
+class KpiRecord:
+    """The KPIs of one scenario run.
+
+    Latency percentiles are milliseconds; ``NaN`` marks KPIs with no
+    samples (zero completions) or not modelled on this path
+    (utilization/imbalance of streamed replays).  ``counters`` holds
+    the fault/defense tallies (retries, reroutes, crashes, limps,
+    quarantines, hedges, hedge_rate_pct); ``extras`` carries
+    path-specific KPIs (e.g. committed_mean_mib of streamed replays).
+    Both participate in :func:`diff_records`.
+    """
+
+    schema: str = KPI_SCHEMA
+    scenario: str = ""
+    seed: int = 0
+    spec_digest: str = ""
+    offered: int = 0
+    completed: int = 0
+    duration_seconds: float = 0.0
+    goodput_rps: float = 0.0
+    success_pct: float = 0.0
+    p50_ms: float = _NAN
+    p95_ms: float = _NAN
+    p99_ms: float = _NAN
+    utilization: float = _NAN
+    imbalance: float = _NAN
+    cost_usd: float = 0.0
+    counters: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(KpiRecord)}
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, 2-space indent, NaN literal)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KpiRecord":
+        known = {f.name for f in fields(KpiRecord)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"KpiRecord: unknown key(s) {', '.join(unknown)}")
+        schema = payload.get("schema", KPI_SCHEMA)
+        if schema != KPI_SCHEMA:
+            raise ValueError(
+                f"KpiRecord: expected schema {KPI_SCHEMA!r}, got {schema!r}"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "KpiRecord":
+        return cls.from_dict(json.loads(text))
+
+
+# -- diffing ------------------------------------------------------------------
+
+# Relative tolerance bands per top-level metric.  0.0 = exact.
+DEFAULT_TOLERANCES = {
+    "offered": 0.0,
+    "completed": 0.01,
+    "duration_seconds": 0.0,
+    "goodput_rps": 0.02,
+    "success_pct": 0.01,
+    "p50_ms": 0.10,
+    "p95_ms": 0.15,
+    "p99_ms": 0.20,
+    "utilization": 0.02,
+    "imbalance": 0.10,
+    "cost_usd": 0.0,
+}
+
+# Counter/extra entries drift with unrelated model changes; give them a
+# wide band by default (override per key via `tolerances`).
+DEFAULT_COUNTER_TOLERANCE = 0.25
+
+_HIGHER_IS_BETTER = {"goodput_rps", "success_pct", "utilization",
+                     "offered", "completed"}
+_LOWER_IS_BETTER = {"p50_ms", "p95_ms", "p99_ms", "imbalance", "cost_usd"}
+
+EQUAL = "equal"
+WITHIN = "within"
+IMPROVED = "improved"
+REGRESSED = "regressed"
+CHANGED = "changed"
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's comparison verdict."""
+
+    metric: str
+    old: float
+    new: float
+    tolerance: float
+    status: str  # equal | within | improved | regressed | changed
+
+    @property
+    def out_of_band(self) -> bool:
+        return self.status in (IMPROVED, REGRESSED, CHANGED)
+
+
+@dataclass
+class KpiDiff:
+    """All metric verdicts of one record-vs-record comparison."""
+
+    deltas: list
+
+    @property
+    def regressions(self) -> list:
+        return [d for d in self.deltas if d.status == REGRESSED]
+
+    @property
+    def changes(self) -> list:
+        return [d for d in self.deltas if d.status == CHANGED]
+
+    @property
+    def improvements(self) -> list:
+        return [d for d in self.deltas if d.status == IMPROVED]
+
+    @property
+    def ok(self) -> bool:
+        """No regressions and no unclassified changes (improvements pass)."""
+        return not self.regressions and not self.changes
+
+    def render(self) -> str:
+        lines = []
+        for delta in self.deltas:
+            if not delta.out_of_band:
+                continue
+            lines.append(
+                f"  {delta.status:9} {delta.metric}: "
+                f"{delta.old:g} -> {delta.new:g} "
+                f"(tolerance {delta.tolerance:.0%})"
+            )
+        counts = (
+            f"{len(self.deltas)} metric(s): "
+            f"{len(self.regressions)} regressed, "
+            f"{len(self.changes)} changed, "
+            f"{len(self.improvements)} improved"
+        )
+        return "\n".join([counts] + lines)
+
+
+def _is_nan(value) -> bool:
+    return isinstance(value, float) and value != value
+
+
+def _direction(metric: str) -> str:
+    base = metric.rsplit(".", 1)[-1]
+    if base in _HIGHER_IS_BETTER:
+        return "higher"
+    if base in _LOWER_IS_BETTER:
+        return "lower"
+    return "neutral"
+
+
+def _compare(metric: str, old, new, tolerance: float) -> MetricDelta:
+    old_nan, new_nan = _is_nan(old), _is_nan(new)
+    if old_nan and new_nan:
+        return MetricDelta(metric, old, new, tolerance, EQUAL)
+    if old_nan or new_nan:
+        return MetricDelta(metric, old, new, tolerance, CHANGED)
+    old_f, new_f = float(old), float(new)
+    if old_f == new_f:
+        return MetricDelta(metric, old_f, new_f, tolerance, EQUAL)
+    denominator = max(abs(old_f), abs(new_f))
+    relative = abs(new_f - old_f) / denominator
+    if relative <= tolerance:
+        return MetricDelta(metric, old_f, new_f, tolerance, WITHIN)
+    direction = _direction(metric)
+    if direction == "neutral":
+        return MetricDelta(metric, old_f, new_f, tolerance, CHANGED)
+    better = new_f > old_f if direction == "higher" else new_f < old_f
+    return MetricDelta(
+        metric, old_f, new_f, tolerance, IMPROVED if better else REGRESSED
+    )
+
+
+def _flatten(record) -> dict:
+    """Record (KpiRecord or dict) → flat {metric: value} numeric map."""
+    payload = record.to_dict() if isinstance(record, KpiRecord) else dict(record)
+    flat = {}
+    for key, value in payload.items():
+        if key in ("schema", "scenario", "spec_digest", "seed"):
+            continue
+        if isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                flat[f"{key}.{sub_key}"] = sub_value
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[key] = value
+    return flat
+
+
+def diff_records(old, new, tolerances: "dict | None" = None) -> KpiDiff:
+    """Compare two KPI records under per-metric relative tolerances.
+
+    ``tolerances`` overrides/extends :data:`DEFAULT_TOLERANCES`; keys
+    may be top-level metrics, ``counters.<name>``, ``extras.<name>``,
+    or the bare counter/extra name.  Metrics present on only one side
+    diff as NaN-vs-value, i.e. a *change*.
+    """
+    bands = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        bands.update(tolerances)
+    old_flat, new_flat = _flatten(old), _flatten(new)
+    deltas = []
+    for metric in sorted(set(old_flat) | set(new_flat)):
+        tolerance = bands.get(metric)
+        if tolerance is None:
+            tolerance = bands.get(metric.rsplit(".", 1)[-1])
+        if tolerance is None:
+            tolerance = (
+                DEFAULT_COUNTER_TOLERANCE if "." in metric else 0.0
+            )
+        deltas.append(_compare(
+            metric,
+            old_flat.get(metric, _NAN),
+            new_flat.get(metric, _NAN),
+            tolerance,
+        ))
+    return KpiDiff(deltas)
+
+
+def diff_matrices(old: dict, new: dict,
+                  tolerances: "dict | None" = None) -> "list[tuple]":
+    """Compare two sweep matrices arm by arm.
+
+    Returns ``[(arm_label, KpiDiff | None), ...]`` sorted by label;
+    ``None`` marks an arm present on only one side (always a failure).
+    """
+    def _index(matrix: dict) -> dict:
+        if matrix.get("schema") != MATRIX_SCHEMA:
+            raise ValueError(
+                f"expected schema {MATRIX_SCHEMA!r}, "
+                f"got {matrix.get('schema')!r}"
+            )
+        return {
+            json.dumps(entry["arm"], sort_keys=True): entry["kpis"]
+            for entry in matrix["records"]
+        }
+
+    old_arms, new_arms = _index(old), _index(new)
+    out = []
+    for label in sorted(set(old_arms) | set(new_arms)):
+        if label not in old_arms or label not in new_arms:
+            out.append((label, None))
+        else:
+            out.append((label, diff_records(
+                old_arms[label], new_arms[label], tolerances
+            )))
+    return out

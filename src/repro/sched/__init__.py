@@ -35,7 +35,7 @@ core reallocation      :class:`CoreSnapshot`          :class:`PiCorePolicy`,
 =====================  =============================  ======================
 """
 
-from .cores import CorePolicy, PiCorePolicy, StaticCorePolicy
+from .cores import CorePolicy, CORE_POLICIES, PiCorePolicy, StaticCorePolicy
 from .hints import CostAware, StaticHints
 from .routing import (
     JSQ,
@@ -54,7 +54,7 @@ from .sandbox import (
     SandboxChoice,
     SandboxPolicy,
 )
-from .scaling import KpaScalingPolicy, ScaleChoice
+from .scaling import KpaScalingPolicy, SCALING_POLICIES, ScaleChoice
 from .snapshots import (
     ClusterSnapshot,
     CoreSnapshot,
@@ -65,6 +65,7 @@ from .snapshots import (
 
 __all__ = [
     "ClusterSnapshot",
+    "CORE_POLICIES",
     "CorePolicy",
     "CoreSnapshot",
     "CostAware",
@@ -81,6 +82,7 @@ __all__ = [
     "RoundRobin",
     "RoutingPolicy",
     "ROUTING_POLICIES",
+    "SCALING_POLICIES",
     "SandboxChoice",
     "SandboxPolicy",
     "SandboxSnapshot",

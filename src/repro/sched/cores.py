@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from .snapshots import CoreSnapshot
 
-__all__ = ["CorePolicy", "PiCorePolicy", "StaticCorePolicy"]
+__all__ = ["CorePolicy", "PiCorePolicy", "StaticCorePolicy", "CORE_POLICIES"]
 
 
 class CorePolicy:
@@ -71,3 +71,12 @@ class StaticCorePolicy(CorePolicy):
 
     def decide(self, snapshot: CoreSnapshot) -> int:
         return 0
+
+
+# Name registry: how scenario specs (repro.scenario) and config
+# surfaces refer to core policies.  ``static`` disables the worker
+# control plane; ``pi`` enables the paper's PI controller.
+CORE_POLICIES = {
+    "static": StaticCorePolicy,
+    "pi": PiCorePolicy,
+}

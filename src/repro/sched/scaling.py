@@ -18,7 +18,7 @@ import math
 
 from .snapshots import PoolSnapshot, SandboxSnapshot
 
-__all__ = ["ScaleChoice", "KpaScalingPolicy"]
+__all__ = ["ScaleChoice", "KpaScalingPolicy", "SCALING_POLICIES"]
 
 
 class ScaleChoice:
@@ -69,3 +69,13 @@ class KpaScalingPolicy:
         per-pod draining could decline and force a cold start.
         """
         return snapshot.idle_count > 0
+
+
+# Name registry: how scenario specs (repro.scenario) and config
+# surfaces refer to pod-scaling policies.  ``none`` leaves the fleet
+# at its spec'd size (every synthetic scenario today); ``kpa`` is the
+# Knative autoscaler used by the FaaS-baseline replay path.
+SCALING_POLICIES = {
+    "none": None,
+    "kpa": KpaScalingPolicy,
+}

@@ -1,0 +1,62 @@
+"""ExperimentResult.row() matching semantics (float-tolerant lookup)."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+
+
+def _result(rows) -> ExperimentResult:
+    result = ExperimentResult(name="t", description="", headers=list(rows[0]))
+    for row in rows:
+        result.add_row(**row)
+    return result
+
+
+def test_exact_integer_axes_still_match_exactly():
+    result = _result([{"workers": 4, "policy": "jsq"},
+                      {"workers": 8, "policy": "jsq"}])
+    assert result.row(workers=4, policy="jsq")["workers"] == 4
+    with pytest.raises(KeyError):
+        result.row(workers=5, policy="jsq")
+    with pytest.raises(KeyError):
+        result.row(workers=4, policy="random")
+
+
+def test_float_axes_match_with_isclose():
+    # The historical bug: a swept axis computed as 0.1 + 0.2 was
+    # unfindable via row(rate=0.3) under exact equality.
+    swept = 0.1 + 0.2
+    assert swept != 0.3
+    result = _result([{"rate": swept, "goodput": 10.0}])
+    assert result.row(rate=0.3)["goodput"] == 10.0
+    assert result.row(rate=swept)["goodput"] == 10.0
+
+
+def test_int_float_cross_type_matching():
+    result = _result([{"severity": 4.0}])
+    assert result.row(severity=4)["severity"] == 4.0
+    result = _result([{"severity": 4}])
+    assert result.row(severity=4.0)["severity"] == 4
+
+
+def test_nan_matches_nan_only():
+    result = _result([{"p99": float("nan"), "arm": "empty"},
+                      {"p99": 5.0, "arm": "loaded"}])
+    assert result.row(p99=float("nan"))["arm"] == "empty"
+    assert result.row(p99=5.0)["arm"] == "loaded"
+    with pytest.raises(KeyError):
+        result.row(p99=6.0)
+
+
+def test_close_but_distinct_floats_do_not_collide():
+    result = _result([{"rate": 0.3}, {"rate": 0.30001}])
+    assert result.row(rate=0.30001)["rate"] == 0.30001
+    assert math.isclose(result.row(rate=0.3)["rate"], 0.3)
+
+
+def test_missing_column_does_not_match():
+    result = _result([{"a": 1}])
+    with pytest.raises(KeyError):
+        result.row(b=1)

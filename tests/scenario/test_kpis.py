@@ -1,0 +1,120 @@
+"""KpiRecord serialization and tolerance-band diffing."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.scenario.kpis import (
+    KpiRecord,
+    MATRIX_SCHEMA,
+    diff_matrices,
+    diff_records,
+)
+
+_NAN = float("nan")
+
+
+def _record(**overrides) -> KpiRecord:
+    base = KpiRecord(
+        scenario="t", seed=1, spec_digest="d", offered=100, completed=100,
+        duration_seconds=2.0, goodput_rps=50.0, success_pct=100.0,
+        p50_ms=3.0, p95_ms=4.0, p99_ms=5.0, utilization=0.5, imbalance=1.1,
+        cost_usd=0.01, counters={"retries": 4}, extras={},
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+def test_json_round_trip_preserves_nan():
+    record = _record(p50_ms=_NAN, p95_ms=_NAN, p99_ms=_NAN)
+    loaded = KpiRecord.from_json(record.to_json())
+    assert math.isnan(loaded.p50_ms) and math.isnan(loaded.p99_ms)
+    assert loaded.goodput_rps == record.goodput_rps
+    assert loaded.to_json() == record.to_json()
+
+
+def test_from_dict_rejects_unknown_keys_and_schema():
+    with pytest.raises(ValueError, match="unknown key"):
+        KpiRecord.from_dict({"schema": "repro-kpi/v1", "goodput": 1.0})
+    with pytest.raises(ValueError, match="expected schema"):
+        KpiRecord.from_dict({"schema": "repro-kpi/v0"})
+
+
+def test_identical_records_diff_equal():
+    diff = diff_records(_record(), _record())
+    assert diff.ok
+    assert all(delta.status == "equal" for delta in diff.deltas)
+
+
+def test_nan_vs_nan_is_equal_not_regression():
+    # Two zero-completion arms: every percentile is NaN on both sides.
+    old = _record(completed=0, goodput_rps=0.0, p50_ms=_NAN, p95_ms=_NAN,
+                  p99_ms=_NAN, utilization=_NAN, imbalance=_NAN)
+    new = _record(completed=0, goodput_rps=0.0, p50_ms=_NAN, p95_ms=_NAN,
+                  p99_ms=_NAN, utilization=_NAN, imbalance=_NAN)
+    diff = diff_records(old, new)
+    assert diff.ok
+    assert not diff.regressions
+
+
+def test_one_sided_nan_is_a_change():
+    diff = diff_records(_record(), _record(p99_ms=_NAN))
+    assert not diff.ok
+    assert [d.metric for d in diff.changes] == ["p99_ms"]
+    assert not diff.regressions  # changed, not classified as a regression
+
+
+def test_drift_within_band_passes():
+    diff = diff_records(_record(), _record(p99_ms=5.5))  # +10% < 20% band
+    assert diff.ok
+    (delta,) = [d for d in diff.deltas if d.metric == "p99_ms"]
+    assert delta.status == "within"
+
+
+def test_direction_awareness():
+    worse = diff_records(_record(), _record(p99_ms=10.0))
+    assert [d.metric for d in worse.regressions] == ["p99_ms"]
+    better = diff_records(_record(), _record(p99_ms=1.0))
+    assert better.ok and [d.metric for d in better.improvements] == ["p99_ms"]
+    more_goodput = diff_records(_record(), _record(goodput_rps=80.0))
+    assert more_goodput.ok
+    assert [d.metric for d in more_goodput.improvements] == ["goodput_rps"]
+
+
+def test_counters_get_wide_default_band_and_overrides():
+    within = diff_records(_record(), _record(counters={"retries": 5}))
+    assert within.ok  # +25% exactly on the default counter band
+    beyond = diff_records(_record(), _record(counters={"retries": 8}))
+    assert not beyond.ok and beyond.changes
+    tightened = diff_records(
+        _record(), _record(counters={"retries": 5}),
+        tolerances={"counters.retries": 0.0},
+    )
+    assert not tightened.ok
+
+
+def test_metric_present_on_one_side_is_a_change():
+    diff = diff_records(_record(), _record(counters={"retries": 4, "hedges": 2}))
+    assert [d.metric for d in diff.changes] == ["counters.hedges"]
+
+
+def _matrix(records) -> dict:
+    return {"schema": MATRIX_SCHEMA, "spec": {}, "axes": [],
+            "records": records}
+
+
+def test_diff_matrices_matches_arms_and_flags_missing():
+    old = _matrix([
+        {"arm": {"sched.routing": "jsq"}, "kpis": _record().to_dict()},
+        {"arm": {"sched.routing": "random"}, "kpis": _record().to_dict()},
+    ])
+    new = _matrix([
+        {"arm": {"sched.routing": "random"}, "kpis": _record().to_dict()},
+        {"arm": {"sched.routing": "gray"}, "kpis": _record().to_dict()},
+    ])
+    results = dict(diff_matrices(old, new))
+    assert results['{"sched.routing": "random"}'].ok
+    assert results['{"sched.routing": "jsq"}'] is None  # dropped arm
+    assert results['{"sched.routing": "gray"}'] is None  # new arm
+    with pytest.raises(ValueError, match="expected schema"):
+        diff_matrices({"schema": "nope", "records": []}, new)

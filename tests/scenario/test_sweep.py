@@ -1,0 +1,92 @@
+"""Axis parsing and cross-product sweeps."""
+
+import pytest
+
+from repro.scenario import load_spec, run_sweep
+from repro.scenario.kpis import MATRIX_SCHEMA
+from repro.scenario.spec import SpecError
+from repro.scenario.sweep import parse_axis_argument, parse_axis_value
+
+
+def test_axis_values_are_typed():
+    assert parse_axis_value("true") is True
+    assert parse_axis_value("false") is False
+    assert parse_axis_value("4") == 4 and isinstance(parse_axis_value("4"), int)
+    assert parse_axis_value("0.5") == 0.5
+    assert parse_axis_value("jsq") == "jsq"
+
+
+def test_axis_argument_parsing_and_aliases():
+    assert parse_axis_argument("policy=random,jsq") == (
+        "sched.routing", ["random", "jsq"])
+    assert parse_axis_argument("fleet=4,8,16") == ("fleet.workers", [4, 8, 16])
+    assert parse_axis_argument("faults.mttf_seconds=0.5") == (
+        "faults.mttf_seconds", [0.5])
+    with pytest.raises(SpecError, match="expected NAME=VALUE"):
+        parse_axis_argument("policy")
+    with pytest.raises(SpecError, match="no values"):
+        parse_axis_argument("policy=,")
+
+
+def _fast_spec():
+    return load_spec("mini").with_overrides({"trace.duration_seconds": 0.25})
+
+
+def test_sweep_cross_product_first_axis_outermost():
+    ran = []
+
+    def fake_runner(spec, **_kwargs):
+        ran.append((spec.sched.routing, spec.fleet.workers))
+
+        class _Run:
+            class kpis:
+                @staticmethod
+                def to_dict():
+                    return {"goodput_rps": 1.0}
+        return _Run()
+
+    matrix = run_sweep(
+        _fast_spec(),
+        [("sched.routing", ["jsq", "random"]), ("fleet.workers", [2, 3])],
+        runner=fake_runner,
+    )
+    assert ran == [("jsq", 2), ("jsq", 3), ("random", 2), ("random", 3)]
+    assert matrix["schema"] == MATRIX_SCHEMA
+    assert [entry["axis"] for entry in matrix["axes"]] == [
+        "sched.routing", "fleet.workers"]
+    assert matrix["records"][0]["arm"] == {
+        "sched.routing": "jsq", "fleet.workers": 2}
+
+
+def test_sweep_validates_every_arm_before_running_any():
+    ran = []
+
+    def counting_runner(spec, **_kwargs):
+        ran.append(spec)
+        raise AssertionError("must not run")
+
+    with pytest.raises(SpecError, match="unknown field"):
+        run_sweep(
+            _fast_spec(),
+            [("sched.routing", ["jsq"]), ("fleet.wrokers", [2])],
+            runner=counting_runner,
+        )
+    assert ran == []
+
+
+def test_sweep_requires_an_axis():
+    with pytest.raises(SpecError, match="at least one --axis"):
+        run_sweep(_fast_spec(), [])
+
+
+def test_sweep_records_carry_kpis():
+    matrix = run_sweep(
+        _fast_spec(), [("sched.routing", ["least_loaded", "random"])]
+    )
+    assert len(matrix["records"]) == 2
+    for record in matrix["records"]:
+        assert record["kpis"]["schema"] == "repro-kpi/v1"
+        assert record["kpis"]["offered"] > 0
+    # Same base spec digest in both arms' records.
+    digests = {record["kpis"]["spec_digest"] for record in matrix["records"]}
+    assert len(digests) == 2  # each arm digests its own overridden spec
